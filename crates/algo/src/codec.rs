@@ -1,0 +1,271 @@
+//! Binary wire codec for [`Msg`].
+//!
+//! The simulator and the in-process threaded runtime move `Msg` values by
+//! ownership, but a deployment across machines needs a wire format. This
+//! module provides a compact, explicit binary encoding (no reflection, no
+//! schema evolution machinery — the protocol is fixed by the paper):
+//!
+//! ```text
+//! tag: u8, then fields in order, integers little-endian
+//!   0x01 request       claimant:u32 source:u32 source_seq:u64
+//!   0x02 token         has_lender:u8 [lender:u32]
+//!   0x03 enquiry       source_seq:u64
+//!   0x04 enquiry-reply source_seq:u64 status:u8
+//!   0x05 test          d:u32
+//!   0x06 answer        kind:u8 d:u32
+//!   0x07 anomaly
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use oc_topology::NodeId;
+
+use crate::message::{AnswerKind, EnquiryStatus, Msg};
+
+/// Error returned when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A field held an invalid value (e.g. node id 0, unknown enum byte).
+    BadField(&'static str),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            DecodeError::BadField(name) => write!(f, "invalid value for field {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_REQUEST: u8 = 0x01;
+const TAG_TOKEN: u8 = 0x02;
+const TAG_ENQUIRY: u8 = 0x03;
+const TAG_ENQUIRY_REPLY: u8 = 0x04;
+const TAG_TEST: u8 = 0x05;
+const TAG_ANSWER: u8 = 0x06;
+const TAG_ANOMALY: u8 = 0x07;
+
+/// Encodes a message to its wire representation.
+#[must_use]
+pub fn encode(msg: &Msg) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24);
+    match msg {
+        Msg::Request { claimant, source, source_seq } => {
+            buf.put_u8(TAG_REQUEST);
+            buf.put_u32_le(claimant.get());
+            buf.put_u32_le(source.get());
+            buf.put_u64_le(*source_seq);
+        }
+        Msg::Token { lender } => {
+            buf.put_u8(TAG_TOKEN);
+            match lender {
+                Some(j) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(j.get());
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Msg::Enquiry { source_seq } => {
+            buf.put_u8(TAG_ENQUIRY);
+            buf.put_u64_le(*source_seq);
+        }
+        Msg::EnquiryReply { source_seq, status } => {
+            buf.put_u8(TAG_ENQUIRY_REPLY);
+            buf.put_u64_le(*source_seq);
+            buf.put_u8(match status {
+                EnquiryStatus::StillInCs => 0,
+                EnquiryStatus::TokenReturned => 1,
+                EnquiryStatus::TokenLost => 2,
+            });
+        }
+        Msg::Test { d } => {
+            buf.put_u8(TAG_TEST);
+            buf.put_u32_le(*d);
+        }
+        Msg::Answer { kind, d } => {
+            buf.put_u8(TAG_ANSWER);
+            buf.put_u8(match kind {
+                AnswerKind::Ok => 0,
+                AnswerKind::TryLater => 1,
+            });
+            buf.put_u32_le(*d);
+        }
+        Msg::Anomaly => buf.put_u8(TAG_ANOMALY),
+    }
+    buf.freeze()
+}
+
+/// Decodes one message from `bytes`.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated input, unknown tags, or invalid
+/// field values. Trailing bytes after a complete message are an error
+/// (`BadField("trailing")`) — messages are framed by the transport.
+pub fn decode(bytes: &[u8]) -> Result<Msg, DecodeError> {
+    let mut buf = bytes;
+    let msg = decode_inner(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(DecodeError::BadField("trailing"));
+    }
+    Ok(msg)
+}
+
+fn decode_inner(buf: &mut &[u8]) -> Result<Msg, DecodeError> {
+    let tag = take_u8(buf)?;
+    match tag {
+        TAG_REQUEST => Ok(Msg::Request {
+            claimant: take_node(buf)?,
+            source: take_node(buf)?,
+            source_seq: take_u64(buf)?,
+        }),
+        TAG_TOKEN => {
+            let lender = match take_u8(buf)? {
+                0 => None,
+                1 => Some(take_node(buf)?),
+                _ => return Err(DecodeError::BadField("has_lender")),
+            };
+            Ok(Msg::Token { lender })
+        }
+        TAG_ENQUIRY => Ok(Msg::Enquiry { source_seq: take_u64(buf)? }),
+        TAG_ENQUIRY_REPLY => {
+            let source_seq = take_u64(buf)?;
+            let status = match take_u8(buf)? {
+                0 => EnquiryStatus::StillInCs,
+                1 => EnquiryStatus::TokenReturned,
+                2 => EnquiryStatus::TokenLost,
+                _ => return Err(DecodeError::BadField("status")),
+            };
+            Ok(Msg::EnquiryReply { source_seq, status })
+        }
+        TAG_TEST => Ok(Msg::Test { d: take_u32(buf)? }),
+        TAG_ANSWER => {
+            let kind = match take_u8(buf)? {
+                0 => AnswerKind::Ok,
+                1 => AnswerKind::TryLater,
+                _ => return Err(DecodeError::BadField("kind")),
+            };
+            Ok(Msg::Answer { kind, d: take_u32(buf)? })
+        }
+        TAG_ANOMALY => Ok(Msg::Anomaly),
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn take_node(buf: &mut &[u8]) -> Result<NodeId, DecodeError> {
+    let raw = take_u32(buf)?;
+    if raw == 0 {
+        return Err(DecodeError::BadField("node id 0"));
+    }
+    Ok(NodeId::new(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Msg) {
+        let bytes = encode(&msg);
+        let decoded = decode(&bytes).expect("decode");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Msg::Request {
+            claimant: NodeId::new(7),
+            source: NodeId::new(12),
+            source_seq: u64::MAX,
+        });
+        round_trip(Msg::Token { lender: None });
+        round_trip(Msg::Token { lender: Some(NodeId::new(1)) });
+        round_trip(Msg::Enquiry { source_seq: 0 });
+        round_trip(Msg::EnquiryReply { source_seq: 3, status: EnquiryStatus::StillInCs });
+        round_trip(Msg::EnquiryReply { source_seq: 4, status: EnquiryStatus::TokenReturned });
+        round_trip(Msg::EnquiryReply { source_seq: 5, status: EnquiryStatus::TokenLost });
+        round_trip(Msg::Test { d: 10 });
+        round_trip(Msg::Answer { kind: AnswerKind::Ok, d: 2 });
+        round_trip(Msg::Answer { kind: AnswerKind::TryLater, d: 9 });
+        round_trip(Msg::Anomaly);
+    }
+
+    #[test]
+    fn encodings_are_compact() {
+        assert_eq!(encode(&Msg::Anomaly).len(), 1);
+        assert_eq!(encode(&Msg::Token { lender: None }).len(), 2);
+        assert_eq!(encode(&Msg::Token { lender: Some(NodeId::new(5)) }).len(), 6);
+        assert_eq!(
+            encode(&Msg::Request {
+                claimant: NodeId::new(1),
+                source: NodeId::new(1),
+                source_seq: 0
+            })
+            .len(),
+            17
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&Msg::Request {
+            claimant: NodeId::new(3),
+            source: NodeId::new(3),
+            source_seq: 9,
+        });
+        for cut in 0..bytes.len() {
+            assert_eq!(decode(&bytes[..cut]).unwrap_err(), DecodeError::Truncated, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_fields_are_detected() {
+        assert_eq!(decode(&[0xFF]).unwrap_err(), DecodeError::BadTag(0xFF));
+        // Token with has_lender = 7.
+        assert_eq!(
+            decode(&[TAG_TOKEN, 7]).unwrap_err(),
+            DecodeError::BadField("has_lender")
+        );
+        // Node id 0 in a request.
+        let mut bad = vec![TAG_REQUEST];
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(decode(&bad).unwrap_err(), DecodeError::BadField("node id 0"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&Msg::Anomaly).to_vec();
+        bytes.push(0);
+        assert_eq!(decode(&bytes).unwrap_err(), DecodeError::BadField("trailing"));
+    }
+}

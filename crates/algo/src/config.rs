@@ -1,0 +1,158 @@
+//! Algorithm configuration: system size, the delay bound δ, and every
+//! timeout of Section 5 derived from it.
+
+use oc_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by all nodes of one open-cube system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Config {
+    /// Number of nodes; must be a power of two.
+    pub n: usize,
+    /// The network's maximum message delay — the paper's δ. Must be an
+    /// upper bound on the delay model the substrate actually uses.
+    pub delta: SimDuration,
+    /// The estimate `e` of a critical-section duration used by the root's
+    /// loan timeout. Must upper-bound the real CS duration.
+    pub cs_estimate: SimDuration,
+    /// Enables the Section 5 machinery (timeouts, enquiry, search_father).
+    /// Disabled, the node runs the pure Section 3 algorithm — useful for
+    /// the failure-free complexity experiments.
+    pub fault_tolerance: bool,
+    /// Extra slack added to the asking-node timeout to absorb queueing
+    /// delay under contention. The paper's `2·pmax·δ` covers the message
+    /// path but not time spent waiting behind other critical sections;
+    /// real deployments must budget for the expected backlog. Expressed as
+    /// a duration added on top of `2·pmax·δ`.
+    pub contention_slack: SimDuration,
+    /// Margin added to every timeout so that an event taking *exactly* its
+    /// worst-case time still beats the timer. The paper treats δ as a
+    /// strict bound; with δ attainable (as in our simulator), a `test`
+    /// round trip can take exactly `2δ` and must not lose the race against
+    /// a `2δ` timer.
+    pub timeout_margin: SimDuration,
+}
+
+impl Config {
+    /// A configuration with the paper's minimal timeouts and fault
+    /// tolerance enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    #[must_use]
+    pub fn new(n: usize, delta: SimDuration, cs_estimate: SimDuration) -> Self {
+        assert!(oc_topology::is_valid_size(n), "n must be a power of two, got {n}");
+        Config {
+            n,
+            delta,
+            cs_estimate,
+            fault_tolerance: true,
+            contention_slack: SimDuration::ZERO,
+            timeout_margin: SimDuration::from_ticks(1),
+        }
+    }
+
+    /// Same, with the Section 5 machinery switched off.
+    #[must_use]
+    pub fn without_fault_tolerance(n: usize, delta: SimDuration, cs_estimate: SimDuration) -> Self {
+        Config { fault_tolerance: false, ..Config::new(n, delta, cs_estimate) }
+    }
+
+    /// Sets the contention slack (builder style).
+    #[must_use]
+    pub fn with_contention_slack(mut self, slack: SimDuration) -> Self {
+        self.contention_slack = slack;
+        self
+    }
+
+    /// `pmax = log2 n`, the dimension of the cube.
+    #[must_use]
+    pub fn pmax(&self) -> u32 {
+        oc_topology::dimension(self.n)
+    }
+
+    /// The asking-node suspicion timeout: the paper's `2·pmax·δ`, plus the
+    /// configured contention slack.
+    #[must_use]
+    pub fn token_wait_timeout(&self) -> SimDuration {
+        self.delta * (2 * u64::from(self.pmax())) + self.contention_slack + self.timeout_margin
+    }
+
+    /// The root's loan timeout when the token went directly to the source:
+    /// `2δ + e` (Section 5, case j = s), plus contention slack.
+    #[must_use]
+    pub fn loan_timeout_direct(&self) -> SimDuration {
+        self.delta * 2 + self.cs_estimate + self.contention_slack + self.timeout_margin
+    }
+
+    /// The root's loan timeout when the token travels through proxies:
+    /// `(pmax + 1)·δ + e` (Section 5, case j ≠ s), plus contention slack.
+    #[must_use]
+    pub fn loan_timeout_via_proxies(&self) -> SimDuration {
+        self.delta * (u64::from(self.pmax()) + 1)
+            + self.cs_estimate
+            + self.contention_slack
+            + self.timeout_margin
+    }
+
+    /// How long to wait for an enquiry reply before concluding the source
+    /// is down: `2δ`.
+    #[must_use]
+    pub fn enquiry_timeout(&self) -> SimDuration {
+        self.delta * 2 + self.timeout_margin
+    }
+
+    /// How long each `search_father` phase waits for answers: `2δ`.
+    #[must_use]
+    pub fn search_phase_timeout(&self) -> SimDuration {
+        self.delta * 2 + self.timeout_margin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::new(32, SimDuration::from_ticks(10), SimDuration::from_ticks(50))
+    }
+
+    #[test]
+    fn timeouts_match_paper_formulas() {
+        let c = cfg();
+        assert_eq!(c.pmax(), 5);
+        // 2 * pmax * delta = 2 * 5 * 10
+        assert_eq!(c.token_wait_timeout(), SimDuration::from_ticks(101));
+        // 2*delta + e = 20 + 50
+        assert_eq!(c.loan_timeout_direct(), SimDuration::from_ticks(71));
+        // (pmax+1)*delta + e = 60 + 50
+        assert_eq!(c.loan_timeout_via_proxies(), SimDuration::from_ticks(111));
+        assert_eq!(c.enquiry_timeout(), SimDuration::from_ticks(21));
+        assert_eq!(c.search_phase_timeout(), SimDuration::from_ticks(21));
+    }
+
+    #[test]
+    fn contention_slack_extends_suspicion() {
+        let c = cfg().with_contention_slack(SimDuration::from_ticks(1_000));
+        assert_eq!(c.token_wait_timeout(), SimDuration::from_ticks(1_101));
+        assert_eq!(c.loan_timeout_direct(), SimDuration::from_ticks(1_071));
+    }
+
+    #[test]
+    fn fault_tolerance_toggle() {
+        assert!(cfg().fault_tolerance);
+        let c = Config::without_fault_tolerance(
+            8,
+            SimDuration::from_ticks(1),
+            SimDuration::from_ticks(1),
+        );
+        assert!(!c.fault_tolerance);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_size() {
+        let _ = Config::new(12, SimDuration::from_ticks(1), SimDuration::from_ticks(1));
+    }
+}

@@ -1,0 +1,270 @@
+//! The root's loan supervision (Section 5, "Root").
+//!
+//! When the root lends the token it expects it back within a bounded time
+//! (`2δ + e` when lent directly to the source, `(pmax + 1)δ + e` when the
+//! token travels through proxies). Past that, the root *enquires* with the
+//! source `s` of the request:
+//!
+//! * `s` is still in the critical section → keep waiting;
+//! * `s` says it already sent the token back → it arrives within δ; if a
+//!   second enquiry says the same, the return was lost with a crashed
+//!   carrier and the root regenerates;
+//! * `s` says it never received the token → the token was lost on the way
+//!   down: regenerate;
+//! * `s` does not answer within `2δ` → `s` is down: regenerate.
+
+use oc_topology::NodeId;
+use oc_sim::Outbox;
+
+use crate::{
+    message::{EnquiryStatus, Msg},
+    node::{OpenCubeNode, TIMER_ENQUIRY, TIMER_ROOT_LOAN},
+};
+
+impl OpenCubeNode {
+    /// The loan timer fired: the token is overdue — enquire with the
+    /// source.
+    pub(crate) fn on_loan_timeout(&mut self, out: &mut Outbox<Msg>) {
+        let Some(loan) = self.loan else {
+            return; // stale: the token came back
+        };
+        self.stats_mut().enquiries_sent += 1;
+        out.send(loan.source, Msg::Enquiry { source_seq: loan.source_seq });
+        out.set_timer(TIMER_ENQUIRY, self.config_inner().enquiry_timeout());
+    }
+
+    /// No reply to our enquiry within `2δ`: the source is down and the
+    /// token cannot come back — regenerate it.
+    pub(crate) fn on_enquiry_timeout(&mut self, out: &mut Outbox<Msg>) {
+        if self.loan.is_none() {
+            return; // stale
+        }
+        self.regenerate_as_lender(out);
+    }
+
+    /// An enquiry arrived: report the status of the claim `source_seq`
+    /// from this node's perspective.
+    pub(crate) fn on_enquiry(&mut self, from: NodeId, source_seq: u64, out: &mut Outbox<Msg>) {
+        let status = self.local_claim_status(source_seq);
+        out.send(from, Msg::EnquiryReply { source_seq, status });
+    }
+
+    /// The source's reply to our enquiry.
+    pub(crate) fn on_enquiry_reply(
+        &mut self,
+        source_seq: u64,
+        status: EnquiryStatus,
+        out: &mut Outbox<Msg>,
+    ) {
+        let Some(loan) = self.loan.as_mut() else {
+            return; // the token already came back
+        };
+        if loan.source_seq != source_seq {
+            return; // about an older loan
+        }
+        out.cancel_timer(TIMER_ENQUIRY);
+        match status {
+            EnquiryStatus::StillInCs => {
+                // Ill-founded suspicion: wait one more CS worth of time.
+                out.set_timer(TIMER_ROOT_LOAN, self.config_inner().loan_timeout_direct());
+            }
+            EnquiryStatus::TokenReturned => {
+                if loan.returned_once {
+                    // Second "returned" without the token arriving: the
+                    // return message itself was lost (its carrier crashed).
+                    self.regenerate_as_lender(out);
+                } else {
+                    // The return is in flight: it arrives within δ < 2δ.
+                    loan.returned_once = true;
+                    out.set_timer(TIMER_ROOT_LOAN, self.config_inner().enquiry_timeout());
+                }
+            }
+            EnquiryStatus::TokenLost => {
+                // The source never received the token: a node on the path
+                // crashed with it.
+                self.regenerate_as_lender(out);
+            }
+        }
+    }
+
+    /// Regenerates the token as the (still) root lender and resumes
+    /// serving the queue.
+    fn regenerate_as_lender(&mut self, out: &mut Outbox<Msg>) {
+        self.loan = None;
+        self.cancel_loan_timers(out);
+        self.regenerate_token_here();
+        self.finish_loan_locally(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::node::{TIMER_ENQUIRY, TIMER_ROOT_LOAN};
+    use oc_sim::{Action, NodeEvent, Protocol, SimDuration};
+
+    fn ft_cfg(n: usize) -> Config {
+        Config::new(n, SimDuration::from_ticks(10), SimDuration::from_ticks(50))
+    }
+
+    fn drain(node: &mut OpenCubeNode, ev: NodeEvent<Msg>) -> Vec<Action<Msg>> {
+        let mut out = Outbox::new();
+        node.on_event(ev, &mut out);
+        out.drain()
+    }
+
+    fn deliver(node: &mut OpenCubeNode, from: u32, msg: Msg) -> Vec<Action<Msg>> {
+        drain(node, NodeEvent::Deliver { from: NodeId::new(from), msg })
+    }
+
+    /// Root 1 of the 4-cube lends the token to source 2 (proxy case is
+    /// covered by integration tests).
+    fn lending_root() -> OpenCubeNode {
+        let mut root = OpenCubeNode::new(NodeId::new(1), ft_cfg(4));
+        let actions = deliver(
+            &mut root,
+            2,
+            Msg::Request { claimant: NodeId::new(2), source: NodeId::new(2), source_seq: 7 },
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { msg: Msg::Token { lender: Some(_) }, .. }
+        )));
+        assert!(root.loan.is_some());
+        root
+    }
+
+    #[test]
+    fn loan_timeout_sends_enquiry_to_source() {
+        let mut root = lending_root();
+        let actions = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        assert!(matches!(
+            actions[..],
+            [
+                Action::Send { to, msg: Msg::Enquiry { source_seq: 7 } },
+                Action::SetTimer { id: TIMER_ENQUIRY, .. }
+            ] if to == NodeId::new(2)
+        ));
+        assert_eq!(root.stats().enquiries_sent, 1);
+    }
+
+    #[test]
+    fn silent_source_triggers_regeneration() {
+        let mut root = lending_root();
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ENQUIRY));
+        assert!(root.holds_token(), "token regenerated after the source stayed silent");
+        assert!(!root.is_asking());
+        assert!(root.loan.is_none());
+        assert_eq!(root.stats().tokens_regenerated, 1);
+    }
+
+    #[test]
+    fn token_lost_reply_triggers_regeneration() {
+        let mut root = lending_root();
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        let _ = deliver(
+            &mut root,
+            2,
+            Msg::EnquiryReply { source_seq: 7, status: EnquiryStatus::TokenLost },
+        );
+        assert!(root.holds_token());
+        assert_eq!(root.stats().tokens_regenerated, 1);
+    }
+
+    #[test]
+    fn still_in_cs_reply_keeps_waiting() {
+        let mut root = lending_root();
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        let actions = deliver(
+            &mut root,
+            2,
+            Msg::EnquiryReply { source_seq: 7, status: EnquiryStatus::StillInCs },
+        );
+        assert!(!root.holds_token());
+        assert!(root.loan.is_some());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { id: TIMER_ROOT_LOAN, .. })));
+    }
+
+    #[test]
+    fn double_returned_reply_regenerates() {
+        let mut root = lending_root();
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        let _ = deliver(
+            &mut root,
+            2,
+            Msg::EnquiryReply { source_seq: 7, status: EnquiryStatus::TokenReturned },
+        );
+        assert!(!root.holds_token(), "first 'returned': wait for the token");
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        let _ = deliver(
+            &mut root,
+            2,
+            Msg::EnquiryReply { source_seq: 7, status: EnquiryStatus::TokenReturned },
+        );
+        assert!(root.holds_token(), "second 'returned': the return was lost");
+    }
+
+    #[test]
+    fn stale_reply_is_ignored() {
+        let mut root = lending_root();
+        let _ = deliver(
+            &mut root,
+            2,
+            Msg::EnquiryReply { source_seq: 99, status: EnquiryStatus::TokenLost },
+        );
+        assert!(!root.holds_token());
+        assert!(root.loan.is_some());
+    }
+
+    #[test]
+    fn return_clears_loan_so_timers_go_stale() {
+        let mut root = lending_root();
+        let _ = deliver(&mut root, 2, Msg::Token { lender: None });
+        assert!(root.holds_token());
+        assert!(root.loan.is_none());
+        // Stale timers are no-ops.
+        let actions = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        assert!(actions.is_empty());
+        let actions = drain(&mut root, NodeEvent::Timer(TIMER_ENQUIRY));
+        assert!(actions.is_empty());
+        assert_eq!(root.stats().tokens_regenerated, 0);
+    }
+
+    #[test]
+    fn enquiry_answers_reflect_claim_state() {
+        // Source waiting for the token answers "lost"; in CS answers
+        // "in cs"; after completion answers "returned".
+        let mut source = OpenCubeNode::new(NodeId::new(2), ft_cfg(4));
+        let _ = drain(&mut source, NodeEvent::RequestCs); // seq 1, waiting
+        let actions = deliver(&mut source, 1, Msg::Enquiry { source_seq: 1 });
+        assert!(matches!(
+            actions[..],
+            [Action::Send {
+                msg: Msg::EnquiryReply { status: EnquiryStatus::TokenLost, .. },
+                ..
+            }]
+        ));
+        let _ = deliver(&mut source, 1, Msg::Token { lender: Some(NodeId::new(1)) });
+        let actions = deliver(&mut source, 1, Msg::Enquiry { source_seq: 1 });
+        assert!(matches!(
+            actions[..],
+            [Action::Send {
+                msg: Msg::EnquiryReply { status: EnquiryStatus::StillInCs, .. },
+                ..
+            }]
+        ));
+        let _ = drain(&mut source, NodeEvent::ExitCs);
+        let actions = deliver(&mut source, 1, Msg::Enquiry { source_seq: 1 });
+        assert!(matches!(
+            actions[..],
+            [Action::Send {
+                msg: Msg::EnquiryReply { status: EnquiryStatus::TokenReturned, .. },
+                ..
+            }]
+        ));
+    }
+}

@@ -1,0 +1,479 @@
+//! The `search_father` procedure (Section 5).
+//!
+//! An asking node that suspects a failure — or a node re-joining after
+//! recovery, or one bounced by an anomaly — probes distance rings outward:
+//! phase `d` sends `test(d)` to all `2^(d-1)` nodes at distance `d` and
+//! waits `2δ` for answers. A node answers `ok` when its power qualifies it
+//! as the searcher's father (Cor. 2.1), `try later` when it is busy and its
+//! power might still grow, and stays silent otherwise. If even phase
+//! `pmax` fails, the searcher concludes it must be the root (and
+//! regenerates the token if it does not hold it).
+//!
+//! Concurrent searches are resolved by the phase comparison and the
+//! identity tie-break of Section 5 ("Concurrent suspicions of failure").
+
+use std::collections::BTreeSet;
+
+use oc_topology::{dist, nodes_at_distance, NodeId};
+use oc_sim::Outbox;
+
+use crate::{
+    message::{AnswerKind, Msg},
+    node::{OpenCubeNode, TIMER_SEARCH_PHASE, TIMER_TOKEN_WAIT},
+};
+
+/// In-progress `search_father` state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SearchState {
+    /// Current phase = distance of the probed ring.
+    pub d: u32,
+    /// Ring members probed and not yet concluded this round.
+    pub pending: BTreeSet<NodeId>,
+    /// Ring members that answered "try later" — re-probed next round.
+    pub retry: BTreeSet<NodeId>,
+}
+
+impl SearchState {
+    fn new(d: u32) -> Self {
+        SearchState { d, pending: BTreeSet::new(), retry: BTreeSet::new() }
+    }
+}
+
+impl OpenCubeNode {
+    /// Begins `search_father` at phase `start_d` (clamped to `1..=pmax`).
+    /// No-op if a search is already running or fault tolerance is off.
+    pub(crate) fn start_search(&mut self, start_d: u32, out: &mut Outbox<Msg>) {
+        if !self.fault_tolerant() || self.search.is_some() {
+            return;
+        }
+        if self.token_here_inner() || self.loan.is_some() {
+            // A node holding or lending the token *is* the root: there is
+            // no father to search for. (Reachable only through stale
+            // triggers, e.g. an anomaly bounce of an old duplicate claim.)
+            return;
+        }
+        let pmax = self.config_inner().pmax();
+        if pmax == 0 {
+            // A 1-node system: this node is trivially the root.
+            self.conclude_search_as_root(out);
+            return;
+        }
+        let d = start_d.clamp(1, pmax);
+        self.stats_mut().searches_started += 1;
+        self.search = Some(SearchState::new(d));
+        self.run_search_phase(out);
+    }
+
+    /// Sends the `test(d)` probes of the current phase and arms the phase
+    /// timer.
+    fn run_search_phase(&mut self, out: &mut Outbox<Msg>) {
+        let id = self.id_inner();
+        let n = self.config_inner().n;
+        let timeout = self.config_inner().search_phase_timeout();
+        let search = self.search.as_mut().expect("phase run requires a search");
+        let ring = nodes_at_distance(n, id, search.d);
+        search.pending = ring.iter().copied().collect();
+        search.retry.clear();
+        let d = search.d;
+        self.stats_mut().search_phases += 1;
+        self.stats_mut().nodes_tested += ring.len() as u64;
+        for member in ring {
+            out.send(member, Msg::Test { d });
+        }
+        out.set_timer(TIMER_SEARCH_PHASE, timeout);
+    }
+
+    /// The `2δ` phase timer fired: discard silent ring members, re-probe
+    /// "try later" members, or advance to the next phase — concluding as
+    /// root after phase `pmax`.
+    pub(crate) fn on_search_phase_timeout(&mut self, out: &mut Outbox<Msg>) {
+        let pmax = self.config_inner().pmax();
+        let timeout = self.config_inner().search_phase_timeout();
+        let Some(search) = self.search.as_mut() else {
+            return; // stale timer
+        };
+        if !search.retry.is_empty() {
+            // Re-probe postponed nodes at the same phase.
+            let targets: Vec<NodeId> = search.retry.iter().copied().collect();
+            search.pending = std::mem::take(&mut search.retry);
+            let d = search.d;
+            self.stats_mut().nodes_tested += targets.len() as u64;
+            for member in targets {
+                out.send(member, Msg::Test { d });
+            }
+            out.set_timer(TIMER_SEARCH_PHASE, timeout);
+            return;
+        }
+        if search.d < pmax {
+            search.d += 1;
+            self.run_search_phase(out);
+        } else {
+            // Phase pmax failed: nobody can be our father — become the root.
+            self.search = None;
+            self.conclude_search_as_root(out);
+        }
+    }
+
+    /// Concludes the search with `father := k` and regenerates the pending
+    /// request, if any.
+    pub(crate) fn conclude_search_with_father(&mut self, k: NodeId, out: &mut Outbox<Msg>) {
+        self.search = None;
+        out.cancel_timer(TIMER_SEARCH_PHASE);
+        self.set_father(Some(k));
+        if self.mandator_inner().is_some() {
+            let (source, seq) =
+                self.current_claim_inner().expect("a mandate has claim bookkeeping");
+            let claimant = self.id_inner();
+            self.stats_mut().requests_regenerated += 1;
+            out.send(k, Msg::Request { claimant, source, source_seq: seq });
+            self.arm_token_wait(out);
+        } else {
+            // Recovery / anomaly reattachment with no pending claim.
+            self.process_queue(out);
+        }
+    }
+
+    /// Concludes the search with this node as root, regenerating the token
+    /// if it is not already here, then honoring any pending claim.
+    fn conclude_search_as_root(&mut self, out: &mut Outbox<Msg>) {
+        out.cancel_timer(TIMER_SEARCH_PHASE);
+        out.cancel_timer(TIMER_TOKEN_WAIT);
+        self.set_father(None);
+        if !self.token_here_inner() {
+            self.regenerate_token_here();
+        }
+        self.honor_claim_as_root(out);
+    }
+
+    /// The asking-node suspicion timer (`2·pmax·δ` plus slack) fired
+    /// without the token arriving: start searching above our current
+    /// position (Cor. 2.1: the father sits at distance `power + 1`).
+    pub(crate) fn on_token_wait_timeout(&mut self, out: &mut Outbox<Msg>) {
+        if self.mandator_inner().is_none() || self.token_here_inner() {
+            return; // stale: the claim has been satisfied meanwhile
+        }
+        let start = self.power() + 1;
+        self.start_search(start, out);
+    }
+
+    /// An `anomaly` bounce from our (recovered) father: it cannot serve us;
+    /// search for the true father starting at its distance (Section 5).
+    pub(crate) fn on_anomaly(&mut self, from: NodeId, out: &mut Outbox<Msg>) {
+        if !self.fault_tolerant() {
+            return;
+        }
+        if self.mandator_inner().is_none() {
+            // No claim is pending: the bounced request was a stale
+            // duplicate (regeneration race) — nothing to repair.
+            return;
+        }
+        self.stats_mut().anomalies_received += 1;
+        out.cancel_timer(TIMER_TOKEN_WAIT);
+        let start = dist(self.id_inner(), from);
+        self.start_search(start, out);
+    }
+
+    /// Handles an incoming `test(d)` probe (Section 5, including the
+    /// concurrent-suspicion rules).
+    pub(crate) fn on_test(&mut self, from: NodeId, d: u32, out: &mut Outbox<Msg>) {
+        if !self.fault_tolerant() {
+            return;
+        }
+        if let Some(search) = &self.search {
+            let di = search.d;
+            if di > d {
+                // Case di > dj: our power (di - 1) already qualifies us as
+                // the prober's father, and it can only grow.
+                out.send(from, Msg::Answer { kind: AnswerKind::Ok, d });
+            } else if di < d {
+                // Case di < dj: the paper's optimization — we will
+                // necessarily conclude father := from; do it now.
+                self.conclude_search_with_father(from, out);
+            } else {
+                // Case di = dj: identity tie-break; the smaller identity
+                // becomes the father of the larger.
+                if self.id_inner() < from {
+                    out.send(from, Msg::Answer { kind: AnswerKind::Ok, d });
+                }
+            }
+            return;
+        }
+        let p = self.power();
+        if p >= d {
+            // We meet Cor. 2.1's requirements — even while asking, our
+            // power cannot decrease upon receiving the token.
+            out.send(from, Msg::Answer { kind: AnswerKind::Ok, d });
+        } else if self.is_asking() {
+            // Busy: our power could still increase before this request
+            // completes; tell the prober to try again.
+            out.send(from, Msg::Answer { kind: AnswerKind::TryLater, d });
+        }
+        // Otherwise: stay silent; the prober discards us after 2δ.
+    }
+
+    /// Handles an `answer` to one of our probes.
+    pub(crate) fn on_answer(
+        &mut self,
+        from: NodeId,
+        kind: AnswerKind,
+        d: u32,
+        out: &mut Outbox<Msg>,
+    ) {
+        let Some(search) = self.search.as_mut() else {
+            return; // search already concluded; stale answer
+        };
+        match kind {
+            AnswerKind::Ok => {
+                // Any positive answer concludes the search: the answerer
+                // qualifies as our father (possibly from an earlier phase's
+                // late reply — accepting it only shortens the search).
+                self.conclude_search_with_father(from, out);
+            }
+            AnswerKind::TryLater => {
+                if search.d == d && search.pending.remove(&from) {
+                    search.retry.insert(from);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use oc_sim::{Action, NodeEvent, Protocol, SimDuration};
+
+    fn ft_cfg(n: usize) -> Config {
+        Config::new(n, SimDuration::from_ticks(10), SimDuration::from_ticks(50))
+    }
+
+    fn drain(node: &mut OpenCubeNode, ev: NodeEvent<Msg>) -> Vec<Action<Msg>> {
+        let mut out = Outbox::new();
+        node.on_event(ev, &mut out);
+        out.drain()
+    }
+
+    fn timer(node: &mut OpenCubeNode, id: u64) -> Vec<Action<Msg>> {
+        drain(node, NodeEvent::Timer(id))
+    }
+
+    fn deliver(node: &mut OpenCubeNode, from: u32, msg: Msg) -> Vec<Action<Msg>> {
+        drain(node, NodeEvent::Deliver { from: NodeId::new(from), msg })
+    }
+
+    fn sent_tests(actions: &[Action<Msg>]) -> Vec<(u32, u32)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: Msg::Test { d } } => Some((to.get(), *d)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Puts node 10 (16-cube) into the asking state with a pending claim,
+    /// then fires its suspicion timer; returns the node mid-search.
+    fn searching_node_10() -> OpenCubeNode {
+        let mut node = OpenCubeNode::new(NodeId::new(10), ft_cfg(16));
+        let _ = drain(&mut node, NodeEvent::RequestCs);
+        assert!(node.is_asking());
+        let actions = timer(&mut node, TIMER_TOKEN_WAIT);
+        // power(10) = 0, so the search starts at phase 1: test(1) to node 9.
+        assert_eq!(sent_tests(&actions), vec![(9, 1)]);
+        node
+    }
+
+    #[test]
+    fn suspicion_starts_search_at_power_plus_one() {
+        let node = searching_node_10();
+        assert_eq!(node.search.as_ref().unwrap().d, 1);
+        assert_eq!(node.power(), 0, "searching at phase d evaluates power as d-1");
+    }
+
+    #[test]
+    fn phases_widen_through_the_rings() {
+        let mut node = searching_node_10();
+        // Phase 1 times out (node 9 is down, silent).
+        let actions = timer(&mut node, TIMER_SEARCH_PHASE);
+        assert_eq!(sent_tests(&actions), vec![(11, 2), (12, 2)]);
+        // Phase 2 times out.
+        let actions = timer(&mut node, TIMER_SEARCH_PHASE);
+        assert_eq!(sent_tests(&actions), vec![(13, 3), (14, 3), (15, 3), (16, 3)]);
+        // Phase 3 times out: ring 4 is nodes 1..8.
+        let actions = timer(&mut node, TIMER_SEARCH_PHASE);
+        assert_eq!(
+            sent_tests(&actions),
+            (1..=8).map(|i| (i, 4)).collect::<Vec<_>>()
+        );
+        assert_eq!(node.stats().nodes_tested, 1 + 2 + 4 + 8);
+    }
+
+    #[test]
+    fn ok_answer_concludes_and_regenerates_request() {
+        let mut node = searching_node_10();
+        let actions = deliver(&mut node, 1, Msg::Answer { kind: AnswerKind::Ok, d: 1 });
+        assert!(node.search.is_none());
+        assert_eq!(node.father(), Some(NodeId::new(1)));
+        // The pending claim is re-sent to the new father.
+        let resent: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: Msg::Request { claimant, .. } } => {
+                    Some((to.get(), claimant.get()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resent, vec![(1, 10)]);
+        assert_eq!(node.stats().requests_regenerated, 1);
+    }
+
+    #[test]
+    fn try_later_members_are_reprobed() {
+        let mut node = searching_node_10();
+        let actions = deliver(&mut node, 9, Msg::Answer { kind: AnswerKind::TryLater, d: 1 });
+        assert!(actions.is_empty());
+        // The phase timer re-probes node 9 instead of advancing.
+        let actions = timer(&mut node, TIMER_SEARCH_PHASE);
+        assert_eq!(sent_tests(&actions), vec![(9, 1)]);
+        assert_eq!(node.search.as_ref().unwrap().d, 1);
+    }
+
+    #[test]
+    fn exhausted_search_becomes_root_and_regenerates_token() {
+        let mut node = searching_node_10();
+        // Let every phase time out.
+        for _ in 0..4 {
+            let _ = timer(&mut node, TIMER_SEARCH_PHASE);
+        }
+        assert!(node.search.is_none());
+        assert!(node.believes_root());
+        assert!(node.in_cs(), "the pending local claim is honored with the regenerated token");
+        assert_eq!(node.stats().tokens_regenerated, 1);
+    }
+
+    #[test]
+    fn normal_node_answers_ok_when_power_qualifies() {
+        // Node 1 (root of the 16-cube, power 4) answers ok to any test.
+        let mut root = OpenCubeNode::new(NodeId::new(1), ft_cfg(16));
+        let actions = deliver(&mut root, 10, Msg::Test { d: 4 });
+        assert!(matches!(
+            actions[..],
+            [Action::Send { msg: Msg::Answer { kind: AnswerKind::Ok, d: 4 }, .. }]
+        ));
+    }
+
+    #[test]
+    fn busy_low_power_node_answers_try_later() {
+        // Node 10 (power 0) asking: answers try-later to test(1).
+        let mut node = OpenCubeNode::new(NodeId::new(10), ft_cfg(16));
+        let _ = drain(&mut node, NodeEvent::RequestCs);
+        let actions = deliver(&mut node, 9, Msg::Test { d: 1 });
+        assert!(matches!(
+            actions[..],
+            [Action::Send { msg: Msg::Answer { kind: AnswerKind::TryLater, d: 1 }, .. }]
+        ));
+    }
+
+    #[test]
+    fn idle_low_power_node_stays_silent() {
+        let mut node = OpenCubeNode::new(NodeId::new(10), ft_cfg(16));
+        let actions = deliver(&mut node, 9, Msg::Test { d: 1 });
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn concurrent_search_higher_phase_answers_ok() {
+        // Paper's example (Figure 13-14): c waiting in phase 2 receives
+        // test(1) from b and answers ok.
+        let mut c = OpenCubeNode::new(NodeId::new(3), ft_cfg(4));
+        let _ = drain(&mut c, NodeEvent::RequestCs); // father 1 (down)
+        let _ = timer(&mut c, TIMER_TOKEN_WAIT); // search at phase 2 (power 1)
+        assert_eq!(c.search.as_ref().unwrap().d, 2);
+        let actions = deliver(&mut c, 4, Msg::Test { d: 1 });
+        assert!(matches!(
+            actions[..],
+            [Action::Send { to, msg: Msg::Answer { kind: AnswerKind::Ok, d: 1 } }]
+                if to == NodeId::new(4)
+        ));
+    }
+
+    #[test]
+    fn concurrent_search_lower_phase_concludes_immediately() {
+        // Paper's optimization: b in phase 1 receiving test(2) from c
+        // concludes father_b := c at once.
+        let mut b = OpenCubeNode::new(NodeId::new(2), ft_cfg(4));
+        let _ = drain(&mut b, NodeEvent::RequestCs);
+        let _ = timer(&mut b, TIMER_TOKEN_WAIT); // phase 1 (power 0)
+        assert_eq!(b.search.as_ref().unwrap().d, 1);
+        let actions = deliver(&mut b, 3, Msg::Test { d: 2 });
+        assert!(b.search.is_none());
+        assert_eq!(b.father(), Some(NodeId::new(3)));
+        // And the pending request is regenerated toward c.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to, msg: Msg::Request { .. } } if *to == NodeId::new(3)
+        )));
+    }
+
+    #[test]
+    fn concurrent_search_tie_breaks_by_identity() {
+        // Two searchers at the same phase: the smaller identity claims
+        // fatherhood; the larger stays silent (Section 5, case di = dj).
+        // Node 2 searching at phase 1 receives test(1) from node 1:
+        // 2 > 1, so node 2 must NOT answer.
+        let cfg = ft_cfg(4);
+        let mut larger = OpenCubeNode::new(NodeId::new(2), cfg);
+        let _ = drain(&mut larger, NodeEvent::RequestCs);
+        let _ = timer(&mut larger, TIMER_TOKEN_WAIT); // phase 1 (power 0)
+        assert_eq!(larger.search.as_ref().unwrap().d, 1);
+        let actions = deliver(&mut larger, 1, Msg::Test { d: 1 });
+        assert!(actions.is_empty(), "the larger identity stays silent in a tie");
+
+        // Node 3 forced to power 0 (father := 4), searching at phase 1,
+        // receives test(1) from node 4: 3 < 4, so node 3 answers ok.
+        let mut smaller = OpenCubeNode::new(NodeId::new(3), cfg);
+        smaller.set_father(Some(NodeId::new(4)));
+        let _ = drain(&mut smaller, NodeEvent::RequestCs);
+        let _ = timer(&mut smaller, TIMER_TOKEN_WAIT); // phase 1 (power 0)
+        assert_eq!(smaller.search.as_ref().unwrap().d, 1);
+        let actions = deliver(&mut smaller, 4, Msg::Test { d: 1 });
+        assert!(matches!(
+            actions[..],
+            [Action::Send { to, msg: Msg::Answer { kind: AnswerKind::Ok, d: 1 } }]
+                if to == NodeId::new(4)
+        ));
+    }
+
+    #[test]
+    fn anomaly_starts_search_at_father_distance() {
+        // Paper's example: node 13 bounced by recovered node 9 searches
+        // from phase dist(13,9) = 3.
+        let mut node13 = OpenCubeNode::new(NodeId::new(13), ft_cfg(16));
+        let _ = drain(&mut node13, NodeEvent::RequestCs); // asks father 9
+        let actions = deliver(&mut node13, 9, Msg::Anomaly);
+        let tests = sent_tests(&actions);
+        assert_eq!(tests, vec![(9, 3), (10, 3), (11, 3), (12, 3)]);
+        assert_eq!(node13.search.as_ref().unwrap().d, 3);
+    }
+
+    #[test]
+    fn recovery_searches_from_phase_one() {
+        let mut node9 = OpenCubeNode::new(NodeId::new(9), ft_cfg(16));
+        node9.on_crash();
+        let mut out = Outbox::new();
+        node9.on_recover(&mut out);
+        let actions = out.drain();
+        assert_eq!(sent_tests(&actions), vec![(10, 1)]);
+    }
+
+    #[test]
+    fn token_arrival_aborts_search() {
+        let mut node = searching_node_10();
+        let actions = deliver(&mut node, 9, Msg::Token { lender: Some(NodeId::new(9)) });
+        assert!(node.search.is_none());
+        assert!(node.in_cs());
+        assert!(actions.iter().any(|a| matches!(a, Action::EnterCs)));
+    }
+}

@@ -1,0 +1,183 @@
+//! Golden reproductions of the paper's worked examples:
+//!
+//! * Section 3.2 (Figures 6–8): the 16-node token walk with requests from
+//!   nodes 10 and 8 while node 6 is in the critical section.
+//! * Section 5, Figures 13–14: concurrent suspicion on the 4-open-cube.
+//! * Section 5, Figures 14–17: failure of node 9, concurrent searches by
+//!   10 and 12, recovery of 9, and the anomaly repair for node 13.
+
+use oc_algo::{Config, OpenCubeNode};
+use oc_sim::{DelayModel, MsgKind, Protocol, SimConfig, SimDuration, SimTime, World};
+use oc_topology::{invariant, NodeId};
+
+fn id(n: u32) -> NodeId {
+    NodeId::new(n)
+}
+
+/// A world with *constant* delays so the paper's interleavings are exact.
+fn paper_world(n: usize, fault_tolerance: bool) -> World<OpenCubeNode> {
+    let delta = SimDuration::from_ticks(10);
+    let cs = SimDuration::from_ticks(50);
+    let cfg = if fault_tolerance {
+        Config::new(n, delta, cs)
+    } else {
+        Config::without_fault_tolerance(n, delta, cs)
+    };
+    World::new(
+        SimConfig {
+            delay: DelayModel::Constant(delta),
+            cs_duration: cs,
+            record_trace: true,
+            seed: 42,
+            ..SimConfig::default()
+        },
+        OpenCubeNode::build_all(cfg),
+    )
+}
+
+/// Extracts the live father table and checks it is an open-cube.
+fn assert_open_cube(world: &World<OpenCubeNode>) {
+    let table = oc_algo::father_table(world);
+    assert!(
+        invariant::verify_open_cube(&table).is_ok(),
+        "father table is not an open-cube: {table:?}"
+    );
+}
+
+#[test]
+fn section_3_2_worked_example() {
+    let mut world = paper_world(16, false);
+
+    // Figure 6's initial situation: node 1 has lent the token to node 6.
+    // We produce it by having node 6 request first (6 -> 5 proxy -> 1
+    // lends to claimant 5, who forwards to 6).
+    world.schedule_request(SimTime::from_ticks(0), id(6));
+    // While 6 is in CS (virtual time 40..90), nodes 10 then 8 request; the
+    // paper examines the case where 10's request reaches the root first.
+    world.schedule_request(SimTime::from_ticks(50), id(10));
+    world.schedule_request(SimTime::from_ticks(55), id(8));
+
+    assert!(world.run_to_quiescence());
+    assert!(world.oracle_report().is_clean(), "{:?}", world.oracle_report());
+
+    // Service order: 6, then 10, then 8.
+    let order: Vec<NodeId> = world.trace().cs_order().collect();
+    assert_eq!(order, vec![id(6), id(10), id(8)]);
+
+    // Final configuration — the paper's Figure 8: node 8 is the root and
+    // keeps the token; 1, 5, 7, 9 now point at 8; 10 points at 9.
+    assert!(world.node(id(8)).believes_root());
+    assert!(world.node(id(8)).holds_token());
+    assert_eq!(world.node(id(1)).father(), Some(id(8)));
+    assert_eq!(world.node(id(5)).father(), Some(id(8)));
+    assert_eq!(world.node(id(7)).father(), Some(id(8)));
+    assert_eq!(world.node(id(9)).father(), Some(id(8)));
+    assert_eq!(world.node(id(10)).father(), Some(id(9)));
+    // Untouched branches keep their canonical fathers.
+    assert_eq!(world.node(id(2)).father(), Some(id(1)));
+    assert_eq!(world.node(id(3)).father(), Some(id(1)));
+    assert_eq!(world.node(id(4)).father(), Some(id(3)));
+    assert_eq!(world.node(id(6)).father(), Some(id(5)));
+    assert_eq!(world.node(id(11)).father(), Some(id(9)));
+    assert_eq!(world.node(id(16)).father(), Some(id(15)));
+
+    // The tree is still an open-cube (Theorem 2.1 in action).
+    assert_open_cube(&world);
+
+    // Message accounting for the whole scenario (deterministic under
+    // constant delays): 8 request messages, 7 token messages.
+    assert_eq!(world.metrics().sent(MsgKind::Request), 8);
+    assert_eq!(world.metrics().sent(MsgKind::Token), 7);
+    assert_eq!(world.metrics().overhead_messages(), 0);
+}
+
+#[test]
+fn section_5_concurrent_suspicion_on_4_cube() {
+    // Figures 13-14: the root (node 1 = "a") fails before processing the
+    // concurrent requests of nodes 2 ("b") and 3 ("c"). Both search; the
+    // phase rules resolve: c (higher phase) becomes the root, b attaches
+    // to c.
+    let mut world = paper_world(4, true);
+    world.schedule_failure(SimTime::from_ticks(1), id(1));
+    world.schedule_request(SimTime::from_ticks(5), id(2));
+    world.schedule_request(SimTime::from_ticks(5), id(3));
+
+    assert!(world.run_to_quiescence());
+    assert!(world.oracle_report().is_clean(), "{:?}", world.oracle_report());
+
+    // Both requests were eventually served despite losing the root+token.
+    assert_eq!(world.metrics().cs_entries, 2);
+    // Figure 14's shape (c = node 3 root, b = node 2 its son) is the state
+    // right after the searches conclude; by quiescence, c has served b's
+    // request over the boundary edge (3, 2), so b holds the token as root.
+    assert!(world.node(id(2)).believes_root());
+    assert!(world.node(id(2)).holds_token());
+    assert_eq!(world.node(id(3)).father(), Some(id(2)));
+    // Exactly one token regeneration happened (by c, per the example).
+    let stats = oc_algo::aggregate_stats(&world);
+    assert_eq!(stats.tokens_regenerated, 1);
+    assert_eq!(world.node(id(3)).stats().tokens_regenerated, 1);
+}
+
+#[test]
+fn section_5_failure_recovery_and_anomaly_repair() {
+    // The "small example" closing Section 5, Figures 14-17.
+    let mut world = paper_world(16, true);
+
+    // Node 9 fails; nodes 10 and 12 have issued requests it never serves.
+    world.schedule_failure(SimTime::from_ticks(5), id(9));
+    world.schedule_request(SimTime::from_ticks(10), id(10));
+    world.schedule_request(SimTime::from_ticks(10), id(12));
+    // Node 9 recovers long after the searches settle (Figure 16)...
+    world.schedule_recovery(SimTime::from_ticks(5_000), id(9));
+    // ...then node 13 requests through its stale father 9, triggering the
+    // anomaly repair (Figure 17).
+    world.schedule_request(SimTime::from_ticks(6_000), id(13));
+
+    assert!(world.run_to_quiescence());
+    assert!(world.oracle_report().is_clean(), "{:?}", world.oracle_report());
+
+    // All three requests served.
+    assert_eq!(world.metrics().cs_entries, 3);
+
+    // Figure 17's final configuration: node 10 is the root; 9, 12 and 13
+    // all re-attached to 10.
+    assert!(world.node(id(10)).believes_root());
+    assert!(world.node(id(10)).holds_token());
+    assert_eq!(world.node(id(12)).father(), Some(id(10)));
+    assert_eq!(world.node(id(9)).father(), Some(id(10)));
+    assert_eq!(world.node(id(13)).father(), Some(id(10)));
+    // Node 11 transit-forwarded 12's doomed request and re-pointed at 12.
+    assert_eq!(world.node(id(11)).father(), Some(id(12)));
+    // Node 1 gave the token up to 10 over the boundary path.
+    assert_eq!(world.node(id(1)).father(), Some(id(10)));
+
+    // The token was regenerated zero times (node 1 still had it — only the
+    // *requests* were lost with node 9), and exactly one anomaly bounce
+    // repaired node 13's stale pointer.
+    let stats = oc_algo::aggregate_stats(&world);
+    assert_eq!(stats.tokens_regenerated, 0);
+    assert_eq!(stats.anomalies_sent, 1);
+    assert_eq!(stats.anomalies_received, 1);
+}
+
+#[test]
+fn section_5_token_loss_at_root_is_regenerated() {
+    // The root lends the token directly to a source that crashes inside
+    // the critical section: the enquiry gets no answer and the root
+    // regenerates (Section 5, "Root", case j = s).
+    let mut world = paper_world(4, true);
+    world.schedule_request(SimTime::from_ticks(0), id(2)); // 1 lends to 2
+    // Node 2 enters CS at ~20 and would exit at ~70; crash it at 40.
+    world.schedule_failure(SimTime::from_ticks(40), id(2));
+    // A later request must still be serveable.
+    world.schedule_request(SimTime::from_ticks(2_000), id(4));
+
+    assert!(world.run_to_quiescence());
+    assert!(world.oracle_report().is_clean(), "{:?}", world.oracle_report());
+    assert_eq!(world.metrics().cs_entries, 2); // node 2's + node 4's
+    let stats = oc_algo::aggregate_stats(&world);
+    assert_eq!(stats.tokens_regenerated, 1);
+    assert!(stats.enquiries_sent >= 1);
+    assert!(world.node(id(4)).father().is_none() || world.node(id(4)).holds_token());
+}

@@ -1,0 +1,137 @@
+//! Message-complexity formulas from Sections 4 and 5.
+
+/// The paper's recurrence for the total cost of one request from every
+/// node of a `2^p`-open-cube, measured from the canonical initial state:
+///
+/// ```text
+/// α_1 = 2
+/// α_{p+1} = 2·α_p + 3·2^(p-1) + p
+/// ```
+///
+/// `alpha(0)` is 0 (a single node enters for free).
+///
+/// ```
+/// assert_eq!(oc_analysis::alpha(1), 2);
+/// assert_eq!(oc_analysis::alpha(2), 8);   // 2·2 + 3·1 + 1
+/// assert_eq!(oc_analysis::alpha(3), 24);  // 2·8 + 3·2 + 2
+/// ```
+#[must_use]
+pub fn alpha(p: u32) -> u64 {
+    match p {
+        0 => 0,
+        1 => 2,
+        _ => 2 * alpha(p - 1) + 3 * (1u64 << (p - 2)) + u64::from(p - 1),
+    }
+}
+
+/// The exact average messages per request at `n = 2^p`: `α_p / 2^p`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub fn average_messages_exact(n: usize) -> f64 {
+    assert!(n.is_power_of_two() && n >= 1, "n must be a power of two");
+    let p = n.trailing_zeros();
+    alpha(p) as f64 / n as f64
+}
+
+/// The paper's closed-form approximation of the average:
+/// `c̄ ≈ ¾·log2 N + 5/4`.
+#[must_use]
+pub fn average_messages_closed_form(n: usize) -> f64 {
+    assert!(n.is_power_of_two() && n >= 1, "n must be a power of two");
+    let p = n.trailing_zeros() as f64;
+    0.75 * p + 1.25
+}
+
+/// The worst-case messages per request: `log2 N + 1` (Section 4).
+///
+/// This counts the messages that *satisfy* the request; when the token is
+/// lent rather than given, one additional message later returns it to the
+/// lender.
+#[must_use]
+pub fn worst_case_messages(n: usize) -> u64 {
+    assert!(n.is_power_of_two() && n >= 1, "n must be a power of two");
+    u64::from(n.trailing_zeros()) + 1
+}
+
+/// Number of nodes probed by phase `d` of `search_father`: `2^(d-1)`
+/// (Section 5).
+#[must_use]
+pub fn ring_size(d: u32) -> u64 {
+    assert!(d >= 1, "phases are numbered from 1");
+    1u64 << (d - 1)
+}
+
+/// Total nodes probed by a search that runs phases `start..=end`
+/// inclusive: `2^end − 2^(start-1)` by the geometric sum.
+///
+/// The paper's worst case (a power-0 node exhausting every phase) probes
+/// `2^pmax − 1 = N − 1` nodes; its expected cost over failure positions is
+/// `O(log2 N)`.
+#[must_use]
+pub fn expected_ring_probes(start: u32, end: u32) -> u64 {
+    assert!(start >= 1 && end >= start, "need 1 <= start <= end");
+    (1u64 << end) - (1u64 << (start - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_matches_hand_computation() {
+        // Hand-checked small cases (see paper Section 4 and the matching
+        // end-to-end test in oc-algo).
+        assert_eq!(alpha(0), 0);
+        assert_eq!(alpha(1), 2);
+        assert_eq!(alpha(2), 8);
+        assert_eq!(alpha(3), 24);
+        assert_eq!(alpha(4), 2 * 24 + 3 * 4 + 3); // 63
+    }
+
+    #[test]
+    fn closed_form_tracks_exact_average() {
+        // Solving the recurrence: α_p/2^p = ¾·p + 5/4 − (p+1)/2^p, so the
+        // closed form overshoots by exactly (p+1)/2^p.
+        for p in 4..=20u32 {
+            let n = 1usize << p;
+            let exact = average_messages_exact(n);
+            let approx = average_messages_closed_form(n);
+            let expected_err = (f64::from(p) + 1.0) / n as f64;
+            assert!(
+                ((approx - exact) - expected_err).abs() < 1e-9,
+                "p={p}: exact {exact} vs closed form {approx}"
+            );
+        }
+        // And the error shrinks with p.
+        let e10 = (average_messages_exact(1 << 10) - average_messages_closed_form(1 << 10)).abs();
+        let e20 = (average_messages_exact(1 << 20) - average_messages_closed_form(1 << 20)).abs();
+        assert!(e20 < e10);
+    }
+
+    #[test]
+    fn average_is_below_worst_case() {
+        for p in 1..=16u32 {
+            let n = 1usize << p;
+            assert!(average_messages_exact(n) <= worst_case_messages(n) as f64);
+        }
+    }
+
+    #[test]
+    fn ring_probe_totals() {
+        assert_eq!(ring_size(1), 1);
+        assert_eq!(ring_size(5), 16);
+        // A full search from phase 1 to pmax probes N-1 nodes.
+        assert_eq!(expected_ring_probes(1, 5), 31);
+        // Starting higher skips the inner rings.
+        assert_eq!(expected_ring_probes(3, 5), 32 - 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_sizes() {
+        let _ = average_messages_exact(12);
+    }
+}

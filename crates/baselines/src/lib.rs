@@ -1,0 +1,31 @@
+//! # oc-baselines — comparator mutual-exclusion algorithms
+//!
+//! The paper positions the open-cube algorithm against the two classic
+//! token-and-tree algorithms it generalizes:
+//!
+//! * **Raymond (1989)** — a *static* tree whose edges re-orient toward the
+//!   token. Worst case `O(d)` messages per request where `d` is the static
+//!   tree's diameter, but a node's workload depends on its position, not on
+//!   how often it requests.
+//! * **Naimi–Trehel (1987)** — a fully *dynamic* "last/next" structure.
+//!   `O(log n)` messages on average but `O(n)` in the worst case, since the
+//!   tree can degenerate into a chain.
+//!
+//! Both are implemented on the same sans-io [`oc_sim::Protocol`] interface
+//! as the open-cube algorithm, so the experiment harness can run identical
+//! workloads over all three. A centralized coordinator is included as a
+//! strawman lower bound (3 messages per remote request, single hotspot).
+//!
+//! None of these baselines is fault-tolerant — that is precisely the gap
+//! the paper's algorithm fills. Their `on_recover` leaves the node inert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod central;
+pub mod naimi_trehel;
+pub mod raymond;
+
+pub use central::CentralNode;
+pub use naimi_trehel::NaimiTrehelNode;
+pub use raymond::RaymondNode;

@@ -1,0 +1,25 @@
+//! Criterion bench for experiment E4: search_father probe counts per
+//! victim power.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oc_bench::e4_search_cost;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_search_father");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let rows = e4_search_cost(n, 42);
+                for row in &rows {
+                    assert_eq!(row.measured_probes, row.predicted_probes);
+                }
+                rows
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

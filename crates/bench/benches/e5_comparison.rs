@@ -1,0 +1,19 @@
+//! Criterion bench for experiment E5: open-cube vs Raymond vs
+//! Naimi-Trehel vs a centralized coordinator on identical workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oc_bench::e5_comparison;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_comparison");
+    group.sample_size(10);
+    for n in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| e5_comparison(n, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

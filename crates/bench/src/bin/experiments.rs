@@ -1,0 +1,218 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p oc-bench --bin experiments            # everything
+//! cargo run --release -p oc-bench --bin experiments -- --e3    # one table
+//! cargo run --release -p oc-bench --bin experiments -- --quick # small sizes
+//! ```
+
+use oc_bench::{
+    e1_worst_case, e2_average, e3_failures, e3_failures_summary, e4_average, e4_search_cost,
+    e5_comparison, e6_slack_ablation, render_figure_tree,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let all = args.iter().all(|a| a == "--quick");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    if want("--figures") {
+        figures();
+    }
+    if want("--e1") {
+        e1(quick);
+    }
+    if want("--e2") {
+        e2(quick);
+    }
+    if want("--e3") {
+        e3(quick);
+    }
+    if want("--e4") {
+        e4(quick);
+    }
+    if want("--e5") {
+        e5(quick);
+    }
+    if want("--e6") {
+        e6(quick);
+    }
+}
+
+fn figures() {
+    println!("== Figures 2a-2d: canonical open-cubes ==\n");
+    for n in [2usize, 4, 8, 16] {
+        println!("-- {n}-open-cube --");
+        println!("{}", render_figure_tree(n));
+    }
+}
+
+fn e1(quick: bool) {
+    println!("== E1: worst-case messages per request (bound: log2 N + 1) ==\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>10}",
+        "N", "bound", "measured", "w/ return", "requests"
+    );
+    let sizes: &[usize] =
+        if quick { &[4, 16, 64] } else { &[4, 8, 16, 32, 64, 128, 256, 512, 1024] };
+    for &n in sizes {
+        let row = e1_worst_case(n, 3, 42);
+        println!(
+            "{:>6} {:>8} {:>10} {:>12} {:>10}   {}",
+            row.n,
+            row.bound,
+            row.measured_worst,
+            row.measured_worst_with_return,
+            row.requests,
+            if row.measured_worst <= row.bound { "ok" } else { "VIOLATED" },
+        );
+    }
+    println!();
+}
+
+fn e2(quick: bool) {
+    println!("== E2: average messages per request vs the α_p recurrence ==\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "N", "measured", "alpha_p", "avg", "3/4·p+5/4", "evolving"
+    );
+    let sizes: &[usize] =
+        if quick { &[4, 16, 64] } else { &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] };
+    for &n in sizes {
+        let row = e2_average(n, 42);
+        println!(
+            "{:>6} {:>10} {:>10} {:>10.3} {:>12.3} {:>12.3}   {}",
+            row.n,
+            row.measured_total,
+            row.alpha,
+            row.measured_avg,
+            row.closed_form,
+            row.evolving_avg,
+            if row.measured_total == row.alpha { "exact" } else { "MISMATCH" },
+        );
+    }
+    println!();
+}
+
+fn e3(quick: bool) {
+    println!(
+        "== E3: overhead messages per failure (paper: 8 at N=32/300f, 9.75 at N=64/200f) ==\n"
+    );
+    println!(
+        "{:>6} {:>9} {:>14} {:>12} {:>9} {:>7} {:>9} {:>9}",
+        "N", "failures", "overhead/fail", "extra/fail", "searches", "regen", "served", "injected"
+    );
+    let plan: &[(usize, usize)] = if quick {
+        &[(32, 30), (64, 20)]
+    } else {
+        &[(16, 100), (32, 300), (64, 200), (128, 100)]
+    };
+    for &(n, failures) in plan {
+        let row = e3_failures(n, failures, 42);
+        println!(
+            "{:>6} {:>9} {:>14.2} {:>12.2} {:>9} {:>7} {:>9} {:>9}",
+            row.n,
+            row.failures,
+            row.overhead_per_failure,
+            row.extra_per_failure,
+            row.searches,
+            row.regenerations,
+            row.served,
+            row.injected,
+        );
+    }
+    println!();
+    // Multi-seed variability of the headline numbers.
+    println!("-- overhead/failure across 5 independent seeds (mean ± 95% CI) --");
+    for &(n, failures) in plan {
+        let s = e3_failures_summary(n, failures, &[42, 43, 44, 45, 46]);
+        println!(
+            "{:>6} {:>9}   {:.2} ± {:.2}   (min {:.2}, max {:.2})",
+            n, failures, s.mean, s.ci95, s.min, s.max
+        );
+    }
+    println!();
+}
+
+fn e4(quick: bool) {
+    println!("== E4: search_father probe counts (ring d holds 2^(d-1) nodes) ==\n");
+    println!(
+        "{:>6} {:>13} {:>12} {:>10} {:>10} {:>6}",
+        "N", "victim power", "predicted", "measured", "regen", "match"
+    );
+    let sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256, 1024] };
+    for &n in sizes {
+        for row in e4_search_cost(n, 42) {
+            println!(
+                "{:>6} {:>13} {:>12} {:>10} {:>10} {:>6}",
+                row.n,
+                row.victim_power,
+                row.predicted_probes,
+                row.measured_probes,
+                row.regenerated,
+                if row.predicted_probes == row.measured_probes { "ok" } else { "DIFF" },
+            );
+        }
+    }
+    println!();
+    println!("-- average probes per search over ALL failure positions (paper: O(log2 N)) --");
+    println!("{:>6} {:>9} {:>12} {:>12} {:>10}", "N", "searches", "measured", "predicted", "2*log2 N");
+    for &n in sizes {
+        let row = e4_average(n, 42);
+        println!(
+            "{:>6} {:>9} {:>12.2} {:>12.2} {:>10.1}",
+            row.n, row.searches, row.measured_mean, row.predicted_mean, row.two_log_n
+        );
+    }
+    println!();
+}
+
+fn e6(quick: bool) {
+    println!("== E6 (ablation): suspicion-slack sensitivity (no failures injected) ==\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>13} {:>10} {:>8}",
+        "N", "slack", "spurious", "wasted probes", "msgs/CS", "served"
+    );
+    let sizes: &[usize] = if quick { &[16] } else { &[16, 64] };
+    for &n in sizes {
+        for row in e6_slack_ablation(n, 42) {
+            println!(
+                "{:>6} {:>8} {:>10} {:>13} {:>10.2} {:>8}",
+                row.n,
+                row.slack,
+                row.spurious_searches,
+                row.wasted_probes,
+                row.msgs_per_cs,
+                if row.all_served { "all" } else { "LOST" },
+            );
+        }
+        println!();
+    }
+}
+
+fn e5(quick: bool) {
+    println!("== E5: comparison (avg / worst messages per CS) ==\n");
+    println!(
+        "{:>6} {:>14} {:>9} {:>10} {:>10} {:>12} {:>10} {:>11}",
+        "N", "algorithm", "seq avg", "seq worst", "conc avg", "hotspot avg",
+        "burst avg", "post-burst"
+    );
+    let sizes: &[usize] = if quick { &[16, 64] } else { &[8, 16, 32, 64, 128, 256] };
+    for &n in sizes {
+        for row in e5_comparison(n, 42) {
+            println!(
+                "{:>6} {:>14} {:>9.2} {:>10} {:>10.2} {:>12.2} {:>10.2} {:>11}",
+                row.n,
+                row.algo.name(),
+                row.seq_avg,
+                row.seq_worst,
+                row.conc_avg,
+                row.hotspot_avg,
+                row.burst_avg,
+                row.post_burst_worst,
+            );
+        }
+        println!();
+    }
+}

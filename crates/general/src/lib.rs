@@ -1,0 +1,583 @@
+//! # oc-general — the general token-and-tree scheme
+//!
+//! Section 3 of the paper ("Relation with the general algorithm") situates
+//! the open-cube algorithm inside the general scheme of Hélary, Mostefaoui
+//! & Raynal \[1\]: a token- and tree-based mutual exclusion algorithm where
+//! each node processing a `request` message chooses — **arbitrarily, at
+//! arbitrary times** — between two behaviors:
+//!
+//! * **transit**: forward the claim (or hand over the token) and re-point
+//!   `father` at the claimant;
+//! * **proxy**: request the token on the claimant's account (or lend it).
+//!
+//! Safety and liveness hold for *every* assignment rule; the rule only
+//! shapes how the tree evolves and therefore the message complexity:
+//!
+//! | Rule | Instance |
+//! |---|---|
+//! | transit ⇔ token here | Raymond's algorithm (static-ish tree) |
+//! | always transit | Naimi–Trehel (fully dynamic tree) |
+//! | transit ⇔ request over a boundary edge | **the open-cube algorithm** |
+//!
+//! This crate implements the general scheme with a pluggable
+//! [`BehaviorRule`], plus the three named rules and a seeded random rule.
+//! The test suite demonstrates the paper's claims: every rule is safe and
+//! live; the open-cube rule reproduces the specialized implementation's
+//! message counts exactly; and only the open-cube rule keeps the tree an
+//! open-cube.
+//!
+//! \[1\] J.M. Hélary, A. Mostefaoui, M. Raynal. *A general scheme for
+//! token and tree based distributed mutual exclusion algorithms.* INRIA
+//! RR-1692, 1992.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use oc_topology::{canonical_father, dimension, dist, NodeId};
+use oc_sim::{MessageKind, MsgKind, NodeEvent, Outbox, Protocol};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// The two behaviors of the general scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Forward the claim and re-point `father` at the claimant.
+    Transit,
+    /// Take the claim as a mandate (or lend the token) on the claimant's
+    /// account.
+    Proxy,
+}
+
+/// What a rule may observe about the deciding node. (The general scheme
+/// allows decisions to depend on any local state.)
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView {
+    /// The deciding node.
+    pub id: NodeId,
+    /// Its current father (`None` at the root).
+    pub father: Option<NodeId>,
+    /// Whether the token is currently here.
+    pub token_here: bool,
+    /// System size.
+    pub n: usize,
+}
+
+impl NodeView {
+    /// The node's power derived via Prop. 2.1 (meaningful when the tree is
+    /// an open-cube; other rules may still read it).
+    #[must_use]
+    pub fn power(&self) -> u32 {
+        match self.father {
+            Some(f) => dist(self.id, f) - 1,
+            None => dimension(self.n),
+        }
+    }
+}
+
+/// A behavior-assignment rule — the parameter of the general scheme.
+pub trait BehaviorRule: Send + 'static {
+    /// Decides the behavior for processing `request(claimant)` at `view`.
+    fn decide(&mut self, view: &NodeView, claimant: NodeId) -> Behavior;
+
+    /// A short name for tables and debug output.
+    fn name(&self) -> &'static str;
+}
+
+/// The open-cube rule (this paper): transit exactly when the request
+/// arrived over a boundary edge, i.e. `dist(i, claimant) == power(i)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenCubeRule;
+
+impl BehaviorRule for OpenCubeRule {
+    fn decide(&mut self, view: &NodeView, claimant: NodeId) -> Behavior {
+        if dist(view.id, claimant) == view.power() {
+            Behavior::Transit
+        } else {
+            Behavior::Proxy
+        }
+    }
+    fn name(&self) -> &'static str {
+        "open-cube"
+    }
+}
+
+/// Raymond's rule: transit when the token is here, proxy otherwise
+/// (the paper: `behavior_i = transit ⇔ token_here_i`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaymondRule;
+
+impl BehaviorRule for RaymondRule {
+    fn decide(&mut self, view: &NodeView, _claimant: NodeId) -> Behavior {
+        if view.token_here {
+            Behavior::Transit
+        } else {
+            Behavior::Proxy
+        }
+    }
+    fn name(&self) -> &'static str {
+        "raymond-rule"
+    }
+}
+
+/// Naimi–Trehel's rule: permanently transit, so the tree can reach any
+/// configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysTransit;
+
+impl BehaviorRule for AlwaysTransit {
+    fn decide(&mut self, _view: &NodeView, _claimant: NodeId) -> Behavior {
+        Behavior::Transit
+    }
+    fn name(&self) -> &'static str {
+        "always-transit"
+    }
+}
+
+/// Permanently proxy: every ancestor takes a mandate; the tree never
+/// changes. (Not one of the paper's named instances, but a legal corner of
+/// the scheme — useful for stressing the mandate chains.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysProxy;
+
+impl BehaviorRule for AlwaysProxy {
+    fn decide(&mut self, _view: &NodeView, _claimant: NodeId) -> Behavior {
+        Behavior::Proxy
+    }
+    fn name(&self) -> &'static str {
+        "always-proxy"
+    }
+}
+
+/// A seeded coin-flip rule: the paper's "arbitrary assignment, at
+/// arbitrary times", made executable. Safety and liveness must survive it.
+#[derive(Debug)]
+pub struct RandomRule {
+    rng: StdRng,
+}
+
+impl RandomRule {
+    /// Creates a random rule with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RandomRule { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl BehaviorRule for RandomRule {
+    fn decide(&mut self, _view: &NodeView, _claimant: NodeId) -> Behavior {
+        if self.rng.random_range(0..2) == 0 {
+            Behavior::Transit
+        } else {
+            Behavior::Proxy
+        }
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Wire messages of the general scheme (the failure-free §3 protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GMsg {
+    /// `request(claimant)`.
+    Request {
+        /// The node that will receive the token for this claim.
+        claimant: NodeId,
+    },
+    /// `token(lender)`; `None` is the paper's `token(nil)`.
+    Token {
+        /// The lender, or `None` for an ownership transfer.
+        lender: Option<NodeId>,
+    },
+}
+
+impl MessageKind for GMsg {
+    fn kind(&self) -> MsgKind {
+        match self {
+            GMsg::Request { .. } => MsgKind::Request,
+            GMsg::Token { .. } => MsgKind::Token,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Work {
+    Local,
+    Remote(NodeId),
+}
+
+/// One node of the general scheme, parameterized by its behavior rule.
+///
+/// This is the paper's §3 pseudo-code with the `case of` test replaced by
+/// `rule.decide(...)`. No fault tolerance — the general scheme \[1\]
+/// predates the open-cube's failure machinery.
+#[derive(Debug)]
+pub struct GeneralNode<R: BehaviorRule> {
+    id: NodeId,
+    n: usize,
+    rule: R,
+    token_here: bool,
+    asking: bool,
+    in_cs: bool,
+    father: Option<NodeId>,
+    lender: NodeId,
+    mandator: Option<NodeId>,
+    lending: bool,
+    queue: VecDeque<Work>,
+}
+
+impl<R: BehaviorRule> GeneralNode<R> {
+    /// Creates node `id` of an `n`-node system with the canonical
+    /// open-cube as the initial tree and the token at node 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `id` out of range.
+    #[must_use]
+    pub fn new(id: NodeId, n: usize, rule: R) -> Self {
+        assert!((id.get() as usize) <= n, "node {id} outside 1..={n}");
+        let father = canonical_father(n, id);
+        GeneralNode {
+            id,
+            n,
+            rule,
+            token_here: father.is_none(),
+            asking: false,
+            in_cs: false,
+            father,
+            lender: id,
+            mandator: None,
+            lending: false,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Builds all nodes with one rule instance per node, produced by
+    /// `make_rule(id)`.
+    pub fn build_all(n: usize, mut make_rule: impl FnMut(NodeId) -> R) -> Vec<GeneralNode<R>> {
+        NodeId::all(n).map(|id| GeneralNode::new(id, n, make_rule(id))).collect()
+    }
+
+    /// The node's current father pointer.
+    #[must_use]
+    pub fn father(&self) -> Option<NodeId> {
+        self.father
+    }
+
+    fn busy(&self) -> bool {
+        self.asking
+    }
+
+    fn view(&self) -> NodeView {
+        NodeView { id: self.id, father: self.father, token_here: self.token_here, n: self.n }
+    }
+
+    fn process_local(&mut self, out: &mut Outbox<GMsg>) {
+        self.asking = true;
+        if self.token_here {
+            self.lender = self.id;
+            self.in_cs = true;
+            out.enter_cs();
+        } else {
+            self.mandator = Some(self.id);
+            let father = self.father.expect("non-root without token has a father");
+            out.send(father, GMsg::Request { claimant: self.id });
+        }
+    }
+
+    fn process_remote(&mut self, claimant: NodeId, out: &mut Outbox<GMsg>) {
+        match self.rule.decide(&self.view(), claimant) {
+            Behavior::Transit => {
+                if self.token_here {
+                    self.token_here = false;
+                    out.send(claimant, GMsg::Token { lender: None });
+                } else {
+                    let father = self.father.expect("non-root without token has a father");
+                    out.send(father, GMsg::Request { claimant });
+                }
+                self.father = Some(claimant);
+            }
+            Behavior::Proxy => {
+                self.asking = true;
+                if self.token_here {
+                    self.token_here = false;
+                    self.lending = true;
+                    out.send(claimant, GMsg::Token { lender: Some(self.id) });
+                } else {
+                    self.mandator = Some(claimant);
+                    let father = self.father.expect("non-root without token has a father");
+                    out.send(father, GMsg::Request { claimant: self.id });
+                }
+            }
+        }
+    }
+
+    fn process_queue(&mut self, out: &mut Outbox<GMsg>) {
+        while !self.busy() {
+            match self.queue.pop_front() {
+                None => return,
+                Some(Work::Local) => self.process_local(out),
+                Some(Work::Remote(claimant)) => self.process_remote(claimant, out),
+            }
+        }
+    }
+
+    fn on_token(&mut self, from: NodeId, lender: Option<NodeId>, out: &mut Outbox<GMsg>) {
+        self.token_here = true;
+        match self.mandator {
+            None => {
+                // Return of a loan we made.
+                debug_assert!(self.lending, "unsolicited token in the failure-free scheme");
+                self.lending = false;
+                self.asking = false;
+                self.lender = self.id;
+                self.process_queue(out);
+            }
+            Some(m) if m == self.id => {
+                match lender {
+                    None => {
+                        self.lender = self.id;
+                        self.father = None;
+                    }
+                    Some(j) => {
+                        self.lender = j;
+                        self.father = Some(from);
+                    }
+                }
+                self.mandator = None;
+                self.in_cs = true;
+                out.enter_cs();
+            }
+            Some(m) => {
+                match lender {
+                    None => {
+                        self.father = None;
+                        self.token_here = false;
+                        self.lending = true;
+                        out.send(m, GMsg::Token { lender: Some(self.id) });
+                        self.mandator = None;
+                        // asking stays true until the token returns.
+                    }
+                    Some(j) => {
+                        self.father = Some(from);
+                        self.token_here = false;
+                        out.send(m, GMsg::Token { lender: Some(j) });
+                        self.mandator = None;
+                        self.asking = false;
+                        self.process_queue(out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<R: BehaviorRule> Protocol for GeneralNode<R> {
+    type Msg = GMsg;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_event(&mut self, event: NodeEvent<GMsg>, out: &mut Outbox<GMsg>) {
+        match event {
+            NodeEvent::RequestCs => {
+                if self.busy() {
+                    self.queue.push_back(Work::Local);
+                } else {
+                    self.process_local(out);
+                }
+            }
+            NodeEvent::ExitCs => {
+                if self.in_cs {
+                    self.in_cs = false;
+                    if self.lender != self.id {
+                        self.token_here = false;
+                        out.send(self.lender, GMsg::Token { lender: None });
+                    }
+                    self.asking = false;
+                    self.process_queue(out);
+                }
+            }
+            NodeEvent::Deliver { from, msg } => match msg {
+                GMsg::Request { claimant } => {
+                    if self.busy() {
+                        self.queue.push_back(Work::Remote(claimant));
+                    } else {
+                        self.process_remote(claimant, out);
+                    }
+                }
+                GMsg::Token { lender } => self.on_token(from, lender, out),
+            },
+            NodeEvent::Timer(_) => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // The general scheme has no failure handling; crash support exists
+        // only so the trait is total.
+        self.token_here = false;
+        self.asking = false;
+        self.in_cs = false;
+        self.mandator = None;
+        self.lending = false;
+        self.queue.clear();
+    }
+
+    fn on_recover(&mut self, _out: &mut Outbox<GMsg>) {}
+
+    fn in_cs(&self) -> bool {
+        self.in_cs
+    }
+
+    fn holds_token(&self) -> bool {
+        self.token_here
+    }
+
+    fn is_idle(&self) -> bool {
+        !self.asking && self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_sim::{SimConfig, SimTime, World};
+    use oc_topology::invariant;
+
+    fn run_workload<R: BehaviorRule>(
+        n: usize,
+        seed: u64,
+        make_rule: impl FnMut(NodeId) -> R,
+        arrivals: &[(u64, u32)],
+    ) -> World<GeneralNode<R>> {
+        let mut world = World::new(
+            SimConfig { seed, max_events: 10_000_000, ..SimConfig::default() },
+            GeneralNode::build_all(n, make_rule),
+        );
+        for (at, node) in arrivals {
+            world.schedule_request(SimTime::from_ticks(*at), NodeId::new(*node));
+        }
+        assert!(world.run_to_quiescence(), "run wedged");
+        world
+    }
+
+    fn everyone(n: usize, gap: u64) -> Vec<(u64, u32)> {
+        (1..=n as u32).map(|i| (u64::from(i) * gap, i)).collect()
+    }
+
+    #[test]
+    fn every_rule_is_safe_and_live() {
+        let n = 16;
+        let arrivals = everyone(n, 13);
+        // Open-cube rule.
+        let w = run_workload(n, 1, |_| OpenCubeRule, &arrivals);
+        assert_eq!(w.metrics().cs_entries, n as u64);
+        assert!(w.oracle_report().is_clean());
+        // Raymond rule.
+        let w = run_workload(n, 2, |_| RaymondRule, &arrivals);
+        assert_eq!(w.metrics().cs_entries, n as u64);
+        assert!(w.oracle_report().is_clean());
+        // Always transit (Naimi-Trehel).
+        let w = run_workload(n, 3, |_| AlwaysTransit, &arrivals);
+        assert_eq!(w.metrics().cs_entries, n as u64);
+        assert!(w.oracle_report().is_clean());
+        // Always proxy.
+        let w = run_workload(n, 4, |_| AlwaysProxy, &arrivals);
+        assert_eq!(w.metrics().cs_entries, n as u64);
+        assert!(w.oracle_report().is_clean());
+        // Arbitrary (random) assignment — the paper's strongest claim.
+        for seed in 0..8u64 {
+            let w = run_workload(n, seed, |id| RandomRule::new(seed * 131 + u64::from(id.get())), &arrivals);
+            assert_eq!(w.metrics().cs_entries, n as u64, "seed {seed}");
+            assert!(w.oracle_report().is_clean(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn open_cube_rule_reproduces_alpha_exactly() {
+        // The general node with the open-cube rule is message-for-message
+        // the specialized oc-algo implementation: its totals match α_p.
+        for p in 1..=6u32 {
+            let n = 1usize << p;
+            let mut total = 0u64;
+            for raw in 1..=n as u32 {
+                let w = run_workload(n, 7, |_| OpenCubeRule, &[(0, raw)]);
+                total += w.metrics().total_sent();
+            }
+            assert_eq!(total, oc_analysis::alpha(p), "α_{p} mismatch");
+        }
+    }
+
+    #[test]
+    fn open_cube_rule_preserves_the_structure() {
+        let n = 32;
+        let mut world = World::new(
+            SimConfig { seed: 9, max_events: 10_000_000, ..SimConfig::default() },
+            GeneralNode::build_all(n, |_| OpenCubeRule),
+        );
+        for raw in (1..=n as u32).rev() {
+            world.schedule_request(world.now(), NodeId::new(raw));
+            assert!(world.run_to_quiescence());
+            let table: Vec<Option<NodeId>> =
+                NodeId::all(n).map(|id| world.node(id).father()).collect();
+            assert!(invariant::verify_open_cube(&table).is_ok(), "broken after {raw}");
+        }
+    }
+
+    #[test]
+    fn always_transit_can_break_the_structure() {
+        // Naimi-Trehel's rule does NOT preserve the open-cube — that is
+        // exactly why its worst case is O(n). Drive it until the invariant
+        // breaks.
+        let n = 8;
+        let mut world = World::new(
+            SimConfig { seed: 11, max_events: 10_000_000, ..SimConfig::default() },
+            GeneralNode::build_all(n, |_| AlwaysTransit),
+        );
+        let mut broke = false;
+        for raw in [6u32, 2, 8, 3, 5, 7, 4, 6, 2].iter() {
+            world.schedule_request(world.now(), NodeId::new(*raw));
+            assert!(world.run_to_quiescence());
+            let table: Vec<Option<NodeId>> =
+                NodeId::all(n).map(|id| world.node(id).father()).collect();
+            if invariant::verify_open_cube(&table).is_err() {
+                broke = true;
+                break;
+            }
+        }
+        assert!(broke, "always-transit should leave the open-cube family");
+    }
+
+    #[test]
+    fn raymond_rule_never_moves_the_root_far() {
+        // With transit-iff-token, the tree's edges only re-orient along
+        // token moves: the structure stays tree-shaped and service works
+        // under churn.
+        let n = 16;
+        let mut arrivals = everyone(n, 17);
+        arrivals.extend(everyone(n, 19).into_iter().map(|(t, i)| (t + 1_000, i)));
+        let w = run_workload(n, 13, |_| RaymondRule, &arrivals);
+        assert_eq!(w.metrics().cs_entries, 2 * n as u64);
+        assert!(w.oracle_report().is_clean());
+    }
+
+    #[test]
+    fn always_proxy_tree_never_changes() {
+        let n = 16;
+        let arrivals = everyone(n, 23);
+        let w = run_workload(n, 15, |_| AlwaysProxy, &arrivals);
+        assert_eq!(w.metrics().cs_entries, n as u64);
+        // Every father pointer is still canonical: proxies never re-point
+        // (the father update on token receipt keeps the same father, and
+        // the paper's root case only rebinds transiently).
+        for id in NodeId::all(n) {
+            let father = w.node(id).father();
+            // The only node whose pointer may differ is a node that became
+            // the root through a token(nil) transfer — which never happens
+            // under always-proxy (the root always *lends*).
+            assert_eq!(father, canonical_father(n, id), "node {id}");
+        }
+    }
+}

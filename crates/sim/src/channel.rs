@@ -1,0 +1,101 @@
+//! Message-delay models.
+//!
+//! The paper's system model promises a *maximum* delay δ between live nodes
+//! and explicitly allows out-of-order delivery (channels need not be FIFO).
+//! All models here sample per-message delays independently, which yields
+//! non-FIFO behaviour whenever the delay is not constant.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// How per-message network delays are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Every message takes exactly this long (a FIFO network).
+    Constant(SimDuration),
+    /// Delays drawn uniformly from `[min, max]` (non-FIFO). `max` is the
+    /// paper's δ.
+    Uniform {
+        /// Minimum delay.
+        min: SimDuration,
+        /// Maximum delay — the δ every timeout in the algorithm is built on.
+        max: SimDuration,
+    },
+}
+
+impl DelayModel {
+    /// The bound δ this model never exceeds.
+    #[must_use]
+    pub fn delta(&self) -> SimDuration {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { max, .. } => max,
+        }
+    }
+
+    /// Samples one message delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { min, max } => {
+                assert!(min <= max, "uniform delay model needs min <= max");
+                SimDuration::from_ticks(rng.random_range(min.ticks()..=max.ticks()))
+            }
+        }
+    }
+}
+
+impl Default for DelayModel {
+    /// A convenient default: uniform in `[1, 10]` ticks.
+    fn default() -> Self {
+        DelayModel::Uniform {
+            min: SimDuration::from_ticks(1),
+            max: SimDuration::from_ticks(10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = DelayModel::Constant(SimDuration::from_ticks(4));
+        for _ in 0..32 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_ticks(4));
+        }
+        assert_eq!(m.delta(), SimDuration::from_ticks(4));
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_varies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = DelayModel::Uniform {
+            min: SimDuration::from_ticks(2),
+            max: SimDuration::from_ticks(9),
+        };
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let d = m.sample(&mut rng);
+            assert!(d.ticks() >= 2 && d.ticks() <= 9);
+            seen.insert(d.ticks());
+        }
+        assert!(seen.len() > 3, "uniform model should vary");
+        assert_eq!(m.delta(), SimDuration::from_ticks(9));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let m = DelayModel::default();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(m.sample(&mut a), m.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Message accounting — the raw material of every experiment in the paper.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of protocol traffic.
+///
+/// `Request` and `Token` are the base algorithm of Section 3; the remaining
+/// kinds only appear in the fault-tolerance machinery of Section 5 and are
+/// what the paper counts as *overhead messages per failure*.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MsgKind {
+    /// `request(j)` — a claim for the token travelling toward the root.
+    Request,
+    /// `token(j)` — the token itself (lender identity inside).
+    Token,
+    /// The root's enquiry to the source of a pending loan (Section 5).
+    Enquiry,
+    /// Answer to an enquiry.
+    EnquiryReply,
+    /// `test(d)` — a `search_father` ring probe (Section 5).
+    Test,
+    /// `answer(ok | try-later)` — reply to a `test` probe.
+    Answer,
+    /// The anomaly notification sent by a recovered node (Section 5).
+    Anomaly,
+}
+
+impl MsgKind {
+    /// `true` for kinds that exist only to handle failures; the paper's
+    /// "overhead messages per failure" metric counts these.
+    #[must_use]
+    pub fn is_failure_overhead(self) -> bool {
+        !matches!(self, MsgKind::Request | MsgKind::Token)
+    }
+
+    /// All kinds, for table headers.
+    #[must_use]
+    pub fn all() -> [MsgKind; 7] {
+        [
+            MsgKind::Request,
+            MsgKind::Token,
+            MsgKind::Enquiry,
+            MsgKind::EnquiryReply,
+            MsgKind::Test,
+            MsgKind::Answer,
+            MsgKind::Anomaly,
+        ]
+    }
+}
+
+/// Aggregated counters collected by a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Messages sent, by kind.
+    sends_by_kind: BTreeMap<MsgKind, u64>,
+    /// Messages destroyed because the destination had crashed.
+    pub lost_to_crashes: u64,
+    /// Completed critical sections.
+    pub cs_entries: u64,
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Recoveries injected.
+    pub recoveries: u64,
+    /// Total virtual time spent waiting between a `RequestCs` and the
+    /// matching CS entry, summed over requests (ticks).
+    pub total_waiting_ticks: u64,
+    /// Events processed by the simulator.
+    pub events_processed: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one message send of the given kind.
+    pub fn record_send(&mut self, kind: MsgKind) {
+        *self.sends_by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Messages sent of one kind.
+    #[must_use]
+    pub fn sent(&self, kind: MsgKind) -> u64 {
+        self.sends_by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total messages sent, all kinds.
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.sends_by_kind.values().sum()
+    }
+
+    /// Messages of the base algorithm only (`request` + `token`).
+    #[must_use]
+    pub fn base_messages(&self) -> u64 {
+        self.sent(MsgKind::Request) + self.sent(MsgKind::Token)
+    }
+
+    /// Messages of the failure-handling machinery only.
+    #[must_use]
+    pub fn overhead_messages(&self) -> u64 {
+        MsgKind::all()
+            .into_iter()
+            .filter(|k| k.is_failure_overhead())
+            .map(|k| self.sent(k))
+            .sum()
+    }
+
+    /// Average messages per completed critical section.
+    #[must_use]
+    pub fn messages_per_cs(&self) -> f64 {
+        if self.cs_entries == 0 {
+            0.0
+        } else {
+            self.total_sent() as f64 / self.cs_entries as f64
+        }
+    }
+
+    /// Average waiting time (ticks) per completed critical section.
+    #[must_use]
+    pub fn mean_waiting_ticks(&self) -> f64 {
+        if self.cs_entries == 0 {
+            0.0
+        } else {
+            self.total_waiting_ticks as f64 / self.cs_entries as f64
+        }
+    }
+
+    /// Difference of total message counts against a baseline run — used to
+    /// attribute "extra messages" to injected failures.
+    #[must_use]
+    pub fn extra_messages_vs(&self, baseline: &Metrics) -> i64 {
+        self.total_sent() as i64 - baseline.total_sent() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let mut m = Metrics::new();
+        m.record_send(MsgKind::Request);
+        m.record_send(MsgKind::Request);
+        m.record_send(MsgKind::Token);
+        m.record_send(MsgKind::Test);
+        assert_eq!(m.sent(MsgKind::Request), 2);
+        assert_eq!(m.total_sent(), 4);
+        assert_eq!(m.base_messages(), 3);
+        assert_eq!(m.overhead_messages(), 1);
+    }
+
+    #[test]
+    fn overhead_classification_matches_paper() {
+        // Request/token are the base protocol; everything else is Section 5.
+        assert!(!MsgKind::Request.is_failure_overhead());
+        assert!(!MsgKind::Token.is_failure_overhead());
+        for k in [
+            MsgKind::Enquiry,
+            MsgKind::EnquiryReply,
+            MsgKind::Test,
+            MsgKind::Answer,
+            MsgKind::Anomaly,
+        ] {
+            assert!(k.is_failure_overhead(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn per_cs_averages() {
+        let mut m = Metrics::new();
+        assert_eq!(m.messages_per_cs(), 0.0);
+        m.record_send(MsgKind::Request);
+        m.record_send(MsgKind::Token);
+        m.cs_entries = 2;
+        assert!((m.messages_per_cs() - 1.0).abs() < f64::EPSILON);
+        m.total_waiting_ticks = 10;
+        assert!((m.mean_waiting_ticks() - 5.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn extra_messages_diff() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.record_send(MsgKind::Request);
+        a.record_send(MsgKind::Test);
+        b.record_send(MsgKind::Request);
+        assert_eq!(a.extra_messages_vs(&b), 1);
+        assert_eq!(b.extra_messages_vs(&a), -1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Safety oracles: mutual exclusion and token uniqueness.
+//!
+//! The oracle observes every state change the simulator makes and records
+//! violations instead of panicking, so that experiments under aggressive
+//! failure injection can complete and *report*; tests then assert the
+//! report is clean.
+
+use oc_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// One observed violation of a safety property.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// Two nodes were inside the critical section simultaneously.
+    MutualExclusion {
+        /// When the second entry happened.
+        at: SimTime,
+        /// The node already in the critical section.
+        occupant: NodeId,
+        /// The node that entered concurrently.
+        intruder: NodeId,
+    },
+    /// More than one live token existed (held by live nodes or in flight to
+    /// live nodes) outside a regeneration window.
+    TokenDuplication {
+        /// When the duplication was observed.
+        at: SimTime,
+        /// Number of live tokens counted.
+        count: usize,
+    },
+}
+
+/// The oracle's final report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleReport {
+    violations: Vec<Violation>,
+}
+
+impl OracleReport {
+    /// All recorded violations, in observation order.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// `true` if no safety property was ever violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Tracks CS occupancy and live-token counts across a run.
+#[derive(Debug)]
+pub(crate) struct Oracle {
+    /// Which node is currently in CS, if any.
+    occupant: Option<NodeId>,
+    report: OracleReport,
+}
+
+impl Oracle {
+    pub(crate) fn new() -> Self {
+        Oracle { occupant: None, report: OracleReport::default() }
+    }
+
+    /// A node enters the critical section.
+    pub(crate) fn enter_cs(&mut self, at: SimTime, node: NodeId) {
+        if let Some(occupant) = self.occupant {
+            self.report.violations.push(Violation::MutualExclusion {
+                at,
+                occupant,
+                intruder: node,
+            });
+        } else {
+            self.occupant = Some(node);
+        }
+    }
+
+    /// A node leaves the critical section (or crashes inside it).
+    pub(crate) fn exit_cs(&mut self, node: NodeId) {
+        if self.occupant == Some(node) {
+            self.occupant = None;
+        }
+    }
+
+    /// Periodic token census: `count` live tokens exist right now.
+    pub(crate) fn token_census(&mut self, at: SimTime, count: usize) {
+        if count > 1 {
+            self.report.violations.push(Violation::TokenDuplication { at, count });
+        }
+    }
+
+    pub(crate) fn report(&self) -> &OracleReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_reports_clean() {
+        let mut o = Oracle::new();
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
+        o.exit_cs(NodeId::new(1));
+        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2));
+        o.exit_cs(NodeId::new(2));
+        o.token_census(SimTime::from_ticks(3), 1);
+        o.token_census(SimTime::from_ticks(4), 0);
+        assert!(o.report().is_clean());
+    }
+
+    #[test]
+    fn detects_mutual_exclusion_violation() {
+        let mut o = Oracle::new();
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
+        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2));
+        assert_eq!(o.report().violations().len(), 1);
+        assert!(matches!(
+            o.report().violations()[0],
+            Violation::MutualExclusion { occupant, intruder, .. }
+                if occupant == NodeId::new(1) && intruder == NodeId::new(2)
+        ));
+    }
+
+    #[test]
+    fn detects_token_duplication() {
+        let mut o = Oracle::new();
+        o.token_census(SimTime::from_ticks(9), 2);
+        assert!(!o.report().is_clean());
+    }
+
+    #[test]
+    fn exit_by_non_occupant_is_ignored() {
+        let mut o = Oracle::new();
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
+        o.exit_cs(NodeId::new(2));
+        o.exit_cs(NodeId::new(1));
+        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3));
+        assert!(o.report().is_clean());
+    }
+}

@@ -1,0 +1,149 @@
+//! The deterministic event queue.
+//!
+//! Events are ordered by `(time, sequence number)`: ties in virtual time are
+//! broken by insertion order, so a run is a pure function of the
+//! configuration and seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-stamped entry in the queue.
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour in std's max-heap.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of simulation events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` at virtual time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event that fails the predicate. Used when a node
+    /// crashes: in-flight messages toward it are destroyed.
+    ///
+    /// Returns the number of dropped events.
+    pub fn retain<F: FnMut(&E) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.heap.len();
+        let entries: Vec<Entry<E>> = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries.into_iter().filter(|e| keep(&e.event)).collect();
+        before - self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(5), "b");
+        q.push(SimTime::from_ticks(1), "a");
+        q.push(SimTime::from_ticks(9), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ticks(3);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn retain_drops_matching() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::from_ticks(i), i);
+        }
+        let dropped = q.retain(|e| e % 2 == 0);
+        assert_eq!(dropped, 5);
+        assert_eq!(q.len(), 5);
+        // Order is preserved after retain.
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn peek_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ticks(4), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(4)));
+    }
+}

@@ -1,0 +1,714 @@
+//! The simulator: drives [`Protocol`] state machines over a virtual-time
+//! network with bounded delays, timers, and fail-stop crash injection.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use oc_topology::NodeId;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::{
+    channel::DelayModel,
+    crash::FailurePlan,
+    metrics::Metrics,
+    oracle::{Oracle, OracleReport},
+    outbox::Outbox,
+    protocol::{Action, MessageKind, NodeEvent, Protocol},
+    queue::EventQueue,
+    time::{SimDuration, SimTime},
+    trace::{Trace, TraceRecord},
+    workload::ArrivalSchedule,
+};
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Network delay model; its maximum is the δ the protocol's timeouts
+    /// must be configured with.
+    pub delay: DelayModel,
+    /// How long a node stays inside the critical section.
+    pub cs_duration: SimDuration,
+    /// RNG seed — two runs with equal configuration and seed are identical.
+    pub seed: u64,
+    /// Record a full event trace (costs memory; used by the worked-example
+    /// tests and the examples).
+    pub record_trace: bool,
+    /// Hard cap on processed events, as a runaway-loop backstop.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            delay: DelayModel::default(),
+            cs_duration: SimDuration::from_ticks(50),
+            seed: 0,
+            record_trace: false,
+            max_events: 100_000_000,
+        }
+    }
+}
+
+/// Internal simulator events.
+#[derive(Debug)]
+enum SimEvent<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, id: u64, generation: u64 },
+    RequestCs { node: NodeId },
+    ExitCs { node: NodeId },
+    Crash { node: NodeId },
+    Recover { node: NodeId },
+}
+
+/// The discrete-event simulator.
+///
+/// Owns `n` protocol instances (nodes `1..=n`), an event queue, the crash
+/// plan, metrics, the safety oracle, and an optional trace.
+#[derive(Debug)]
+pub struct World<P: Protocol> {
+    config: SimConfig,
+    nodes: Vec<P>,
+    alive: Vec<bool>,
+    in_cs: Vec<bool>,
+    now: SimTime,
+    queue: EventQueue<SimEvent<P::Msg>>,
+    rng: StdRng,
+    timer_gens: Vec<HashMap<u64, u64>>,
+    next_timer_gen: u64,
+    pending_request_times: Vec<VecDeque<SimTime>>,
+    metrics: Metrics,
+    oracle: Oracle,
+    trace: Trace,
+    outbox: Outbox<P::Msg>,
+    requests_injected: u64,
+    /// Tokens currently in flight (Deliver events whose message carries the
+    /// token). Maintained incrementally for the census.
+    tokens_in_flight: usize,
+}
+
+impl<P: Protocol> World<P> {
+    /// Creates a world over the given nodes. `nodes[k]` must have identity
+    /// `k + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node's `id()` disagrees with its position.
+    #[must_use]
+    pub fn new(config: SimConfig, nodes: Vec<P>) -> Self {
+        for (k, node) in nodes.iter().enumerate() {
+            assert_eq!(
+                node.id(),
+                NodeId::new(k as u32 + 1),
+                "node at position {k} must have identity {}",
+                k + 1
+            );
+        }
+        let n = nodes.len();
+        let seed = config.seed;
+        let record_trace = config.record_trace;
+        World {
+            config,
+            nodes,
+            alive: vec![true; n],
+            in_cs: vec![false; n],
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng: StdRng::seed_from_u64(seed),
+            timer_gens: vec![HashMap::new(); n],
+            next_timer_gen: 0,
+            pending_request_times: vec![VecDeque::new(); n],
+            metrics: Metrics::new(),
+            oracle: Oracle::new(),
+            trace: Trace::new(record_trace),
+            outbox: Outbox::new(),
+            requests_injected: 0,
+            tokens_in_flight: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the world has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to a node's protocol state.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id.zero_based() as usize]
+    }
+
+    /// `true` if the node is currently alive.
+    #[must_use]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.zero_based() as usize]
+    }
+
+    /// Metrics collected so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The safety oracle's report so far.
+    #[must_use]
+    pub fn oracle_report(&self) -> &OracleReport {
+        self.oracle.report()
+    }
+
+    /// The recorded trace (empty unless `record_trace` was set).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of `RequestCs` events injected so far.
+    #[must_use]
+    pub fn requests_injected(&self) -> u64 {
+        self.requests_injected
+    }
+
+    /// Schedules a local `enter_cs` call on `node` at time `at`.
+    pub fn schedule_request(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.requests_injected += 1;
+        self.queue.push(at, SimEvent::RequestCs { node });
+    }
+
+    /// Schedules every arrival of `schedule`.
+    pub fn schedule_workload(&mut self, schedule: &ArrivalSchedule) {
+        for (at, node) in schedule.arrivals() {
+            self.schedule_request(*at, *node);
+        }
+    }
+
+    /// Schedules the crash (and optional recovery) events of `plan`.
+    pub fn schedule_failures(&mut self, plan: &FailurePlan) {
+        for ev in plan.events() {
+            self.queue.push(ev.at, SimEvent::Crash { node: ev.node });
+            if let Some(recover_at) = ev.recover_at {
+                self.queue.push(recover_at, SimEvent::Recover { node: ev.node });
+            }
+        }
+    }
+
+    /// Schedules a single fail-stop crash of `node` at `at`.
+    pub fn schedule_failure(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.queue.push(at, SimEvent::Crash { node });
+    }
+
+    /// Schedules a recovery of `node` at `at` (no-op if alive then).
+    pub fn schedule_recovery(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.queue.push(at, SimEvent::Recover { node });
+    }
+
+    /// Runs until no events remain. Returns `true` if the queue drained,
+    /// `false` if the `max_events` backstop tripped first.
+    pub fn run_to_quiescence(&mut self) -> bool {
+        while self.metrics.events_processed < self.config.max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs until virtual time would exceed `deadline` (events at exactly
+    /// `deadline` are processed). Returns `true` if the queue drained early.
+    pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        loop {
+            match self.queue.peek_time() {
+                None => return true,
+                Some(t) if t > deadline => {
+                    self.now = deadline;
+                    return false;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Processes one event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.metrics.events_processed += 1;
+        match event {
+            SimEvent::Deliver { to, from, msg } => self.handle_deliver(to, from, msg),
+            SimEvent::Timer { node, id, generation } => self.handle_timer(node, id, generation),
+            SimEvent::RequestCs { node } => self.handle_request_cs(node),
+            SimEvent::ExitCs { node } => self.handle_exit_cs(node),
+            SimEvent::Crash { node } => self.handle_crash(node),
+            SimEvent::Recover { node } => self.handle_recover(node),
+        }
+        self.token_census();
+        true
+    }
+
+    fn handle_deliver(&mut self, to: NodeId, from: NodeId, msg: P::Msg) {
+        if msg.carries_token() {
+            self.tokens_in_flight -= 1;
+        }
+        let idx = to.zero_based() as usize;
+        if !self.alive[idx] {
+            // The destination crashed after the message was sent but before
+            // this delivery: the message is lost (fail-stop model).
+            self.metrics.lost_to_crashes += 1;
+            return;
+        }
+        self.trace.push(
+            self.now,
+            TraceRecord::Deliver { from, to, kind: msg.kind(), desc: format!("{msg:?}") },
+        );
+        self.dispatch(to, NodeEvent::Deliver { from, msg });
+    }
+
+    fn handle_timer(&mut self, node: NodeId, id: u64, generation: u64) {
+        let idx = node.zero_based() as usize;
+        if !self.alive[idx] {
+            return;
+        }
+        // Lazy cancellation: only the latest arming of this timer id fires.
+        if self.timer_gens[idx].get(&id) != Some(&generation) {
+            return;
+        }
+        self.timer_gens[idx].remove(&id);
+        self.dispatch(node, NodeEvent::Timer(id));
+    }
+
+    fn handle_request_cs(&mut self, node: NodeId) {
+        let idx = node.zero_based() as usize;
+        if !self.alive[idx] {
+            // The application on a crashed node cannot request.
+            return;
+        }
+        self.pending_request_times[idx].push_back(self.now);
+        self.dispatch(node, NodeEvent::RequestCs);
+    }
+
+    fn handle_exit_cs(&mut self, node: NodeId) {
+        let idx = node.zero_based() as usize;
+        if !self.alive[idx] || !self.in_cs[idx] {
+            return;
+        }
+        self.in_cs[idx] = false;
+        self.oracle.exit_cs(node);
+        self.trace.push(self.now, TraceRecord::ExitCs(node));
+        self.dispatch(node, NodeEvent::ExitCs);
+    }
+
+    fn handle_crash(&mut self, node: NodeId) {
+        let idx = node.zero_based() as usize;
+        if !self.alive[idx] {
+            return;
+        }
+        self.alive[idx] = false;
+        self.metrics.crashes += 1;
+        if self.in_cs[idx] {
+            self.in_cs[idx] = false;
+            self.oracle.exit_cs(node);
+        }
+        // All volatile node state is lost.
+        self.nodes[idx].on_crash();
+        self.timer_gens[idx].clear();
+        self.pending_request_times[idx].clear();
+        // All in-flight messages toward the node are destroyed.
+        let mut lost_tokens = 0usize;
+        let mut lost = 0u64;
+        self.queue.retain(|ev| match ev {
+            SimEvent::Deliver { to, msg, .. } if *to == node => {
+                if msg.carries_token() {
+                    lost_tokens += 1;
+                }
+                lost += 1;
+                false
+            }
+            _ => true,
+        });
+        self.tokens_in_flight -= lost_tokens;
+        self.metrics.lost_to_crashes += lost;
+        self.trace.push(self.now, TraceRecord::Crash(node));
+    }
+
+    fn handle_recover(&mut self, node: NodeId) {
+        let idx = node.zero_based() as usize;
+        if self.alive[idx] {
+            return;
+        }
+        self.alive[idx] = true;
+        self.metrics.recoveries += 1;
+        self.trace.push(self.now, TraceRecord::Recover(node));
+        let mut out = std::mem::take(&mut self.outbox);
+        self.nodes[idx].on_recover(&mut out);
+        self.execute_actions(node, &mut out);
+        self.outbox = out;
+    }
+
+    /// Feeds one event to a node and executes the resulting actions.
+    fn dispatch(&mut self, node: NodeId, event: NodeEvent<P::Msg>) {
+        let idx = node.zero_based() as usize;
+        let mut out = std::mem::take(&mut self.outbox);
+        self.nodes[idx].on_event(event, &mut out);
+        self.execute_actions(node, &mut out);
+        self.outbox = out;
+    }
+
+    fn execute_actions(&mut self, node: NodeId, out: &mut Outbox<P::Msg>) {
+        let idx = node.zero_based() as usize;
+        for action in out.drain() {
+            match action {
+                Action::Send { to, msg } => {
+                    self.metrics.record_send(msg.kind());
+                    self.trace.push(
+                        self.now,
+                        TraceRecord::Send {
+                            from: node,
+                            to,
+                            kind: msg.kind(),
+                            desc: format!("{msg:?}"),
+                        },
+                    );
+                    if !self.alive[to.zero_based() as usize] {
+                        // Destination already down: the message is lost.
+                        if msg.carries_token() {
+                            // Lost token — the census will see it missing.
+                        }
+                        self.metrics.lost_to_crashes += 1;
+                        continue;
+                    }
+                    if msg.carries_token() {
+                        self.tokens_in_flight += 1;
+                    }
+                    let delay = self.config.delay.sample(&mut self.rng);
+                    self.queue.push(self.now + delay, SimEvent::Deliver { to, from: node, msg });
+                }
+                Action::EnterCs => {
+                    self.in_cs[idx] = true;
+                    self.oracle.enter_cs(self.now, node);
+                    self.metrics.cs_entries += 1;
+                    if let Some(requested_at) = self.pending_request_times[idx].pop_front() {
+                        self.metrics.total_waiting_ticks += (self.now - requested_at).ticks();
+                    }
+                    self.trace.push(self.now, TraceRecord::EnterCs(node));
+                    self.queue
+                        .push(self.now + self.config.cs_duration, SimEvent::ExitCs { node });
+                }
+                Action::SetTimer { id, delay } => {
+                    self.next_timer_gen += 1;
+                    let generation = self.next_timer_gen;
+                    self.timer_gens[idx].insert(id, generation);
+                    self.queue.push(
+                        self.now + delay,
+                        SimEvent::Timer { node, id, generation },
+                    );
+                }
+                Action::CancelTimer { id } => {
+                    self.timer_gens[idx].remove(&id);
+                }
+            }
+        }
+    }
+
+    /// Counts live tokens: live holders plus tokens in flight. Reports to
+    /// the oracle.
+    fn token_census(&mut self) {
+        let holders = self
+            .nodes
+            .iter()
+            .zip(&self.alive)
+            .filter(|(node, alive)| **alive && node.holds_token())
+            .count();
+        self.oracle.token_census(self.now, holders + self.tokens_in_flight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MsgKind;
+
+    /// A minimal centralized-coordinator protocol for exercising the world:
+    /// node 1 owns the privilege and grants it to requesters in FIFO order;
+    /// users return it with a release message. Quiesces once all requests
+    /// are served.
+    #[derive(Debug, Clone)]
+    enum CentralMsg {
+        Req,
+        Grant,
+        Release,
+    }
+    impl MessageKind for CentralMsg {
+        fn kind(&self) -> MsgKind {
+            match self {
+                CentralMsg::Req => MsgKind::Request,
+                CentralMsg::Grant | CentralMsg::Release => MsgKind::Token,
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct CentralNode {
+        id: NodeId,
+        /// Coordinator only: token at home and pending queue.
+        has_token: bool,
+        granted_out: bool,
+        queue: std::collections::VecDeque<NodeId>,
+        in_cs: bool,
+        holding_grant: bool,
+    }
+
+    const COORD: NodeId = NodeId::new(1);
+
+    impl CentralNode {
+        fn new(id: NodeId) -> Self {
+            CentralNode {
+                id,
+                has_token: id == COORD,
+                granted_out: false,
+                queue: std::collections::VecDeque::new(),
+                in_cs: false,
+                holding_grant: false,
+            }
+        }
+
+        fn coordinator_grant_next(&mut self, out: &mut Outbox<CentralMsg>) {
+            if self.has_token && !self.granted_out {
+                if let Some(next) = self.queue.pop_front() {
+                    if next == self.id {
+                        self.granted_out = true; // the token is busy with us
+                        self.in_cs = true;
+                        out.enter_cs();
+                    } else {
+                        self.has_token = false;
+                        self.granted_out = true;
+                        out.send(next, CentralMsg::Grant);
+                    }
+                }
+            }
+        }
+    }
+
+    impl Protocol for CentralNode {
+        type Msg = CentralMsg;
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_event(&mut self, event: NodeEvent<CentralMsg>, out: &mut Outbox<CentralMsg>) {
+            match event {
+                NodeEvent::RequestCs => {
+                    if self.id == COORD {
+                        self.queue.push_back(self.id);
+                        self.coordinator_grant_next(out);
+                    } else {
+                        out.send(COORD, CentralMsg::Req);
+                    }
+                }
+                NodeEvent::ExitCs => {
+                    self.in_cs = false;
+                    if self.id == COORD {
+                        self.granted_out = false;
+                        self.coordinator_grant_next(out);
+                    } else {
+                        self.holding_grant = false;
+                        out.send(COORD, CentralMsg::Release);
+                    }
+                }
+                NodeEvent::Deliver { from, msg } => match msg {
+                    CentralMsg::Req => {
+                        self.queue.push_back(from);
+                        self.coordinator_grant_next(out);
+                    }
+                    CentralMsg::Grant => {
+                        self.holding_grant = true;
+                        self.in_cs = true;
+                        out.enter_cs();
+                    }
+                    CentralMsg::Release => {
+                        self.has_token = true;
+                        self.granted_out = false;
+                        self.coordinator_grant_next(out);
+                    }
+                },
+                NodeEvent::Timer(_) => {}
+            }
+        }
+        fn on_crash(&mut self) {
+            self.has_token = false;
+            self.granted_out = false;
+            self.queue.clear();
+            self.in_cs = false;
+            self.holding_grant = false;
+        }
+        fn on_recover(&mut self, _out: &mut Outbox<CentralMsg>) {}
+        fn in_cs(&self) -> bool {
+            self.in_cs
+        }
+        fn holds_token(&self) -> bool {
+            if self.id == COORD {
+                self.has_token
+            } else {
+                self.holding_grant
+            }
+        }
+    }
+
+    fn central_world(n: usize, seed: u64) -> World<CentralNode> {
+        let nodes = (1..=n as u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+        World::new(
+            SimConfig { seed, max_events: 1_000_000, ..SimConfig::default() },
+            nodes,
+        )
+    }
+
+    #[test]
+    fn coordinator_satisfies_requests() {
+        let mut world = central_world(4, 1);
+        for i in 1..=4u32 {
+            world.schedule_request(SimTime::from_ticks(i as u64 * 10), NodeId::new(i));
+        }
+        assert!(world.run_to_quiescence());
+        assert_eq!(world.metrics().cs_entries, 4);
+        assert!(
+            world.oracle_report().is_clean(),
+            "violations: {:?}",
+            world.oracle_report().violations()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut world = central_world(8, seed);
+            for i in 1..=8u32 {
+                world.schedule_request(SimTime::from_ticks(i as u64), NodeId::new(i));
+            }
+            assert!(world.run_to_quiescence());
+            (world.metrics().total_sent(), world.now())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn crash_destroys_in_flight_messages() {
+        // Constant delays make the timeline exact: the request arrives at
+        // t=6, the grant is in flight during (6, 11]; crashing node 2 at
+        // t=8 destroys it.
+        let nodes = (1..=2u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+        let mut world = World::new(
+            SimConfig {
+                delay: crate::channel::DelayModel::Constant(SimDuration::from_ticks(5)),
+                max_events: 100_000,
+                ..SimConfig::default()
+            },
+            nodes,
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        world.queue.push(SimTime::from_ticks(8), SimEvent::Crash { node: NodeId::new(2) });
+        world.run_to_quiescence();
+        assert_eq!(world.metrics().crashes, 1);
+        assert!(world.metrics().lost_to_crashes >= 1);
+        assert!(!world.is_alive(NodeId::new(2)));
+        assert!(world.is_alive(NodeId::new(1)));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut world = central_world(2, 3);
+        world.schedule_request(SimTime::from_ticks(1_000), NodeId::new(1));
+        let drained = world.run_until(SimTime::from_ticks(500));
+        assert!(!drained);
+        assert_eq!(world.now(), SimTime::from_ticks(500));
+        assert_eq!(world.metrics().cs_entries, 0);
+    }
+
+    #[test]
+    fn waiting_time_is_tracked() {
+        let mut world = central_world(2, 4);
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        world.run_to_quiescence();
+        assert_eq!(world.metrics().cs_entries, 1);
+        // Node 2 had to wait for the request/grant round trip.
+        assert!(world.metrics().total_waiting_ticks > 0);
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let nodes = (1..=2u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+        let mut world = World::new(
+            SimConfig { record_trace: true, max_events: 100_000, ..SimConfig::default() },
+            nodes,
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        world.run_to_quiescence();
+        assert!(!world.trace().records().is_empty());
+        let order: Vec<NodeId> = world.trace().cs_order().collect();
+        assert_eq!(order, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn event_cap_stops_runaway() {
+        // A protocol that ping-pongs forever trips the max_events backstop.
+        #[derive(Debug, Clone)]
+        struct Ping;
+        impl MessageKind for Ping {
+            fn kind(&self) -> MsgKind {
+                MsgKind::Request
+            }
+        }
+        #[derive(Debug)]
+        struct Pinger(NodeId);
+        impl Protocol for Pinger {
+            type Msg = Ping;
+            fn id(&self) -> NodeId {
+                self.0
+            }
+            fn on_event(&mut self, ev: NodeEvent<Ping>, out: &mut Outbox<Ping>) {
+                let peer = NodeId::new(self.0.get() % 2 + 1);
+                match ev {
+                    NodeEvent::RequestCs | NodeEvent::Deliver { .. } => out.send(peer, Ping),
+                    _ => {}
+                }
+            }
+            fn on_crash(&mut self) {}
+            fn on_recover(&mut self, _out: &mut Outbox<Ping>) {}
+            fn in_cs(&self) -> bool {
+                false
+            }
+            fn holds_token(&self) -> bool {
+                false
+            }
+        }
+        let mut world = World::new(
+            SimConfig { max_events: 1_000, ..SimConfig::default() },
+            vec![Pinger(NodeId::new(1)), Pinger(NodeId::new(2))],
+        );
+        world.schedule_request(SimTime::ZERO, NodeId::new(1));
+        assert!(!world.run_to_quiescence());
+    }
+
+    #[test]
+    #[should_panic(expected = "identity")]
+    fn misnumbered_nodes_rejected() {
+        let nodes = vec![CentralNode::new(NodeId::new(2)), CentralNode::new(NodeId::new(1))];
+        let _ = World::new(SimConfig::default(), nodes);
+    }
+}

@@ -1,0 +1,122 @@
+//! Branch-length results (Prop. 2.3): the bound `r ≤ log2 N − n1` on the
+//! length of any branch, where `n1` counts the branch nodes that are not
+//! last sons. This is what caps the worst-case message complexity at
+//! `log2 N + 1` in Section 4.
+
+use crate::{NodeId, OpenCube};
+
+/// The branch from `i` to the root, inclusive: `[i, father(i), ..., root]`.
+#[must_use]
+pub fn branch_to_root(cube: &OpenCube, i: NodeId) -> Vec<NodeId> {
+    let mut branch = vec![i];
+    let mut cur = i;
+    while let Some(f) = cube.father(cur) {
+        branch.push(f);
+        cur = f;
+        assert!(branch.len() <= cube.len(), "cycle in father pointers");
+    }
+    branch
+}
+
+/// Statistics of a branch used by the complexity analysis of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Length `r` of the branch (number of edges).
+    pub len: usize,
+    /// `n1`: nodes on the branch (excluding the root) that are **not** last
+    /// sons of their father — the proxy positions.
+    pub n1: usize,
+    /// `n2`: nodes on the branch (excluding the root) that **are** last sons
+    /// — the transit positions. `n1 + n2 = len`.
+    pub n2: usize,
+}
+
+/// Computes [`BranchStats`] for the branch from `i` to the root.
+#[must_use]
+pub fn branch_stats(cube: &OpenCube, i: NodeId) -> BranchStats {
+    let branch = branch_to_root(cube, i);
+    let len = branch.len() - 1;
+    let mut n2 = 0;
+    for w in branch.windows(2) {
+        if cube.is_boundary_edge(w[0], w[1]) {
+            n2 += 1;
+        }
+    }
+    BranchStats { len, n1: len - n2, n2 }
+}
+
+/// The length of the longest branch (the tree height). Prop. 2.3 bounds it
+/// by `log2 N`.
+#[must_use]
+pub fn longest_branch_len(cube: &OpenCube) -> usize {
+    cube.iter_nodes().map(|i| cube.depth(i)).max().unwrap_or(0)
+}
+
+/// Checks Prop. 2.3 for the branch from `i`: `r ≤ log2 N − n1`.
+#[must_use]
+pub fn proposition_2_3_holds(cube: &OpenCube, i: NodeId) -> bool {
+    let stats = branch_stats(cube, i);
+    stats.len <= (cube.pmax() as usize).saturating_sub(stats.n1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::apply_request_transformation;
+
+    #[test]
+    fn canonical_branch_16() {
+        let cube = OpenCube::canonical(16);
+        let b: Vec<u32> =
+            branch_to_root(&cube, NodeId::new(16)).into_iter().map(NodeId::get).collect();
+        assert_eq!(b, vec![16, 15, 13, 9, 1]);
+    }
+
+    #[test]
+    fn canonical_branches_are_all_boundary() {
+        // In the canonical cube every edge is a boundary edge... no: edge
+        // (2,1): power(1)=4, power(2)=0 -> not boundary. Check a known one.
+        let cube = OpenCube::canonical(16);
+        let stats = branch_stats(&cube, NodeId::new(16));
+        assert_eq!(stats, BranchStats { len: 4, n1: 0, n2: 4 });
+        let stats = branch_stats(&cube, NodeId::new(2));
+        assert_eq!(stats, BranchStats { len: 1, n1: 1, n2: 0 });
+        let stats = branch_stats(&cube, NodeId::new(6));
+        // 6 -> 5 (non-boundary), 5 -> 1 (boundary: power(1)... dist(5,1)=3,
+        // power(5)=2, boundary iff power(1)=3 but power(1)=4 -> NOT).
+        assert_eq!(stats, BranchStats { len: 2, n1: 2, n2: 0 });
+    }
+
+    #[test]
+    fn proposition_2_3_on_canonical_cubes() {
+        for p in 0..=8 {
+            let cube = OpenCube::canonical(1 << p);
+            for i in cube.iter_nodes() {
+                assert!(proposition_2_3_holds(&cube, i), "n={}, i={i}", 1 << p);
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_2_3_survives_transformations() {
+        let mut cube = OpenCube::canonical(64);
+        // Drive the tree through many request transformations and keep
+        // checking the bound.
+        for step in 0..200u32 {
+            let i = NodeId::new(step % 64 + 1);
+            apply_request_transformation(&mut cube, i).unwrap();
+            for j in cube.iter_nodes() {
+                assert!(proposition_2_3_holds(&cube, j));
+            }
+            assert!(longest_branch_len(&cube) <= cube.pmax() as usize);
+        }
+    }
+
+    #[test]
+    fn height_bound() {
+        for p in 0..=9 {
+            let cube = OpenCube::canonical(1 << p);
+            assert_eq!(longest_branch_len(&cube), p as usize);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Closed forms for the *canonical* open-cube — the initial tree of the
+//! paper's Figures 2a–2d, before any b-transformation.
+//!
+//! Writing `z = id - 1` for the 0-based index of a node, the recursive
+//! construction (two `(n/2)`-cubes on the lower and upper half of the id
+//! range, upper root pointing at lower root) collapses to bit arithmetic:
+//!
+//! * `father(id)` clears the **lowest set bit** of `z` (node 1, `z = 0`, is
+//!   the root);
+//! * `power(id)` is the number of trailing zeros of `z` (and `log2 n` for the
+//!   root);
+//! * the sons of `id` are `z + 2^k` for `k = 0 .. power(id)`.
+//!
+//! These formulas are validated against the recursive definition in this
+//! module's tests and in property tests.
+
+use crate::{dimension, NodeId};
+
+/// Father of `id` in the canonical `n`-open-cube, or `None` for the root
+/// (node 1).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `id > n`.
+///
+/// ```
+/// use oc_topology::{canonical_father, NodeId};
+/// // Figure 2c: in the 8-open-cube, father(7) = 5 and father(5) = 1.
+/// assert_eq!(canonical_father(8, NodeId::new(7)), Some(NodeId::new(5)));
+/// assert_eq!(canonical_father(8, NodeId::new(5)), Some(NodeId::new(1)));
+/// assert_eq!(canonical_father(8, NodeId::new(1)), None);
+/// ```
+#[must_use]
+pub fn canonical_father(n: usize, id: NodeId) -> Option<NodeId> {
+    let _ = dimension(n);
+    assert!(
+        (id.get() as usize) <= n,
+        "node {id} outside 1..={n}"
+    );
+    let z = id.zero_based();
+    if z == 0 {
+        None
+    } else {
+        Some(NodeId::from_zero_based(z & (z - 1)))
+    }
+}
+
+/// Power of `id` in the canonical `n`-open-cube (Definition 2.1: the greatest
+/// `p` such that `id` roots a p-group).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `id > n`.
+///
+/// ```
+/// use oc_topology::{canonical_power, NodeId};
+/// // Figure 2d commentary: node 1 has power 4, node 2 power 0,
+/// // node 3 power 1, node 5 power 2, node 9 power 3.
+/// assert_eq!(canonical_power(16, NodeId::new(1)), 4);
+/// assert_eq!(canonical_power(16, NodeId::new(2)), 0);
+/// assert_eq!(canonical_power(16, NodeId::new(3)), 1);
+/// assert_eq!(canonical_power(16, NodeId::new(5)), 2);
+/// assert_eq!(canonical_power(16, NodeId::new(9)), 3);
+/// ```
+#[must_use]
+pub fn canonical_power(n: usize, id: NodeId) -> u32 {
+    let p = dimension(n);
+    assert!((id.get() as usize) <= n, "node {id} outside 1..={n}");
+    let z = id.zero_based();
+    if z == 0 {
+        p
+    } else {
+        z.trailing_zeros()
+    }
+}
+
+/// Sons of `id` in the canonical `n`-open-cube, in increasing power order
+/// (power `0` first, the *last son* — power `power(id) - 1` — last).
+///
+/// A node of power `p` has exactly `p` sons with powers `0..p`
+/// (observation after Definition 2.1).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `id > n`.
+///
+/// ```
+/// use oc_topology::{canonical_sons, NodeId};
+/// // Figure 2d: the sons of node 1 are 2 (power 0), 3 (power 1),
+/// // 5 (power 2) and 9 (power 3, the last son).
+/// let sons: Vec<u32> = canonical_sons(16, NodeId::new(1))
+///     .into_iter().map(NodeId::get).collect();
+/// assert_eq!(sons, vec![2, 3, 5, 9]);
+/// ```
+#[must_use]
+pub fn canonical_sons(n: usize, id: NodeId) -> Vec<NodeId> {
+    let power = canonical_power(n, id);
+    let z = id.zero_based();
+    (0..power)
+        .map(|k| NodeId::from_zero_based(z + (1 << k)))
+        .collect()
+}
+
+/// Recursive reference construction of the canonical father function, used
+/// to validate the closed forms. Exposed for tests and documentation; prefer
+/// [`canonical_father`] in real code.
+///
+/// Builds the father array (index 0 unused) for an `n`-open-cube exactly as
+/// the paper's Figure 1 describes: two half-size cubes, the upper half's
+/// root pointing at the lower half's root.
+#[must_use]
+pub fn recursive_father_table(n: usize) -> Vec<Option<NodeId>> {
+    let _ = dimension(n);
+    // fathers[z] = father of node with 0-based index z.
+    fn build(base: u32, size: usize, fathers: &mut [Option<NodeId>]) {
+        if size == 1 {
+            return;
+        }
+        let half = size / 2;
+        build(base, half, fathers);
+        build(base + half as u32, half, fathers);
+        // Root of the upper half points at the root of the lower half.
+        fathers[(base as usize) + half] = Some(NodeId::from_zero_based(base));
+    }
+    let mut fathers = vec![None; n];
+    build(0, n, &mut fathers);
+    let mut table = vec![None; n + 1];
+    table[1..=n].copy_from_slice(&fathers[..n]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_recursion_up_to_1024() {
+        for p in 0..=10 {
+            let n = 1usize << p;
+            let table = recursive_father_table(n);
+            for id in NodeId::all(n) {
+                assert_eq!(
+                    canonical_father(n, id),
+                    table[id.get() as usize],
+                    "father mismatch at n={n}, id={id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure_2a_two_cube() {
+        assert_eq!(canonical_father(2, NodeId::new(1)), None);
+        assert_eq!(canonical_father(2, NodeId::new(2)), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn figure_2b_four_cube() {
+        let fathers: Vec<Option<u32>> = NodeId::all(4)
+            .map(|id| canonical_father(4, id).map(NodeId::get))
+            .collect();
+        assert_eq!(fathers, vec![None, Some(1), Some(1), Some(3)]);
+    }
+
+    #[test]
+    fn figure_2c_eight_cube() {
+        let fathers: Vec<Option<u32>> = NodeId::all(8)
+            .map(|id| canonical_father(8, id).map(NodeId::get))
+            .collect();
+        assert_eq!(
+            fathers,
+            vec![None, Some(1), Some(1), Some(3), Some(1), Some(5), Some(5), Some(7)]
+        );
+    }
+
+    #[test]
+    fn figure_2d_sixteen_cube() {
+        let fathers: Vec<Option<u32>> = NodeId::all(16)
+            .map(|id| canonical_father(16, id).map(NodeId::get))
+            .collect();
+        assert_eq!(
+            fathers,
+            vec![
+                None,
+                Some(1),
+                Some(1),
+                Some(3),
+                Some(1),
+                Some(5),
+                Some(5),
+                Some(7),
+                Some(1),
+                Some(9),
+                Some(9),
+                Some(11),
+                Some(9),
+                Some(13),
+                Some(13),
+                Some(15),
+            ]
+        );
+    }
+
+    #[test]
+    fn powers_count_sons() {
+        for p in 0..=8 {
+            let n = 1usize << p;
+            for id in NodeId::all(n) {
+                let sons = canonical_sons(n, id);
+                assert_eq!(sons.len() as u32, canonical_power(n, id));
+                // Sons have powers 0..power, in order.
+                for (k, son) in sons.iter().enumerate() {
+                    assert_eq!(canonical_power(n, *son), k as u32);
+                    assert_eq!(canonical_father(n, *son), Some(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_power_is_dimension() {
+        for p in 0..=10 {
+            let n = 1usize << p;
+            assert_eq!(canonical_power(n, NodeId::new(1)), p as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = canonical_father(6, NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_node() {
+        let _ = canonical_father(8, NodeId::new(9));
+    }
+}

@@ -1,0 +1,167 @@
+//! Distances between nodes (Definition 2.2) and distance rings.
+//!
+//! `dist(i, j)` is the smallest `d` such that `i` and `j` belong to the same
+//! d-group. Because b-transformations never change p-group membership
+//! (Cor. 2.2), distances are **invariant** over the whole life of the system
+//! — the paper stores them in a per-node constant array `dist_i`. We compute
+//! them on the fly: with `zi = i - 1`, `zj = j - 1`,
+//! `dist(i, j) = bit_length(zi XOR zj)`, because the smallest enclosing
+//! d-group of a node is exactly its aligned block of `2^d` indices.
+
+use crate::NodeId;
+
+/// Distance between two nodes (Definition 2.2): the smallest `d` such that
+/// both belong to the same d-group. `dist(i, i) = 0`.
+///
+/// This value is invariant under b-transformations (Cor. 2.3), so it never
+/// depends on the current tree — only on the identities.
+///
+/// ```
+/// use oc_topology::{dist, NodeId};
+/// // Paper, after Definition 2.2 (16-open-cube):
+/// // dist(1,2)=1, dist(1,3)=dist(1,4)=2, dist(1,5..8)=3, dist(1,9..16)=4.
+/// let n1 = NodeId::new(1);
+/// assert_eq!(dist(n1, NodeId::new(2)), 1);
+/// assert_eq!(dist(n1, NodeId::new(3)), 2);
+/// assert_eq!(dist(n1, NodeId::new(4)), 2);
+/// assert_eq!(dist(n1, NodeId::new(7)), 3);
+/// assert_eq!(dist(n1, NodeId::new(16)), 4);
+/// assert_eq!(dist(n1, n1), 0);
+/// ```
+#[must_use]
+pub fn dist(i: NodeId, j: NodeId) -> u32 {
+    let x = i.zero_based() ^ j.zero_based();
+    32 - x.leading_zeros()
+}
+
+/// All nodes at distance exactly `d` from `from` in an `n`-node system,
+/// in increasing identity order.
+///
+/// There are exactly `2^(d-1)` such nodes for `1 ≤ d ≤ log2 n`
+/// (paper, Section 5): the other half of `from`'s d-group. This is the
+/// *ring* probed by phase `d` of the `search_father` procedure.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, `from > n`, or `d` exceeds `log2 n`.
+///
+/// ```
+/// use oc_topology::{nodes_at_distance, NodeId};
+/// let ring: Vec<u32> = nodes_at_distance(16, NodeId::new(10), 2)
+///     .into_iter().map(NodeId::get).collect();
+/// assert_eq!(ring, vec![11, 12]);
+/// ```
+#[must_use]
+pub fn nodes_at_distance(n: usize, from: NodeId, d: u32) -> Vec<NodeId> {
+    let p = crate::dimension(n);
+    assert!((from.get() as usize) <= n, "node {from} outside 1..={n}");
+    assert!(d >= 1 && d <= p, "distance {d} outside 1..={p}");
+    let z = from.zero_based();
+    // Nodes at distance d: indices whose bits above position d-1 agree with
+    // z, bit d-1 differs, and bits below d-1 are free.
+    let base = (z & !((1u32 << d) - 1)) | ((z ^ (1 << (d - 1))) & (1 << (d - 1)));
+    (0..(1u32 << (d - 1)))
+        .map(|low| NodeId::from_zero_based(base | low))
+        .collect()
+}
+
+/// Size of the distance-`d` ring: `2^(d-1)` nodes for `d ≥ 1`
+/// (independent of the node, paper Section 5).
+///
+/// ```
+/// assert_eq!(oc_topology::ring_size(1), 1);
+/// assert_eq!(oc_topology::ring_size(4), 8);
+/// ```
+#[must_use]
+pub fn ring_size(d: u32) -> usize {
+    assert!(d >= 1, "rings are defined for d >= 1");
+    1usize << (d - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation straight from Definition 2.2: the smallest
+    /// `d` whose aligned `2^d` block contains both indices.
+    fn dist_reference(i: NodeId, j: NodeId, n: usize) -> u32 {
+        let p = crate::dimension(n);
+        for d in 0..=p {
+            let block = 1u32 << d;
+            if i.zero_based() / block == j.zero_based() / block {
+                return d;
+            }
+        }
+        unreachable!("the whole cube is a {p}-group");
+    }
+
+    #[test]
+    fn closed_form_matches_definition() {
+        let n = 64;
+        for i in NodeId::all(n) {
+            for j in NodeId::all(n) {
+                assert_eq!(dist(i, j), dist_reference(i, j, n), "dist({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_is_a_symmetric_ultrametric() {
+        let n = 32;
+        for i in NodeId::all(n) {
+            assert_eq!(dist(i, i), 0);
+            for j in NodeId::all(n) {
+                assert_eq!(dist(i, j), dist(j, i));
+                for k in NodeId::all(n) {
+                    // Strong triangle inequality: p-groups nest.
+                    assert!(dist(i, k) <= dist(i, j).max(dist(j, k)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_sizes_match_paper() {
+        let n = 64;
+        for from in NodeId::all(n) {
+            for d in 1..=6 {
+                let ring = nodes_at_distance(n, from, d);
+                assert_eq!(ring.len(), ring_size(d), "ring({from}, {d})");
+                for member in &ring {
+                    assert_eq!(dist(from, *member), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rings_partition_the_cube() {
+        let n = 32;
+        let from = NodeId::new(13);
+        let mut seen = vec![from];
+        for d in 1..=5 {
+            seen.extend(nodes_at_distance(n, from, d));
+        }
+        seen.sort();
+        let all: Vec<NodeId> = NodeId::all(n).collect();
+        assert_eq!(seen, all);
+    }
+
+    #[test]
+    fn paper_distances_from_node_1() {
+        // Checks the exact enumeration the paper gives after Definition 2.2.
+        let n1 = NodeId::new(1);
+        for j in 9..=16 {
+            assert_eq!(dist(n1, NodeId::new(j)), 4);
+        }
+        for j in 5..=8 {
+            assert_eq!(dist(n1, NodeId::new(j)), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn ring_rejects_excessive_distance() {
+        let _ = nodes_at_distance(8, NodeId::new(1), 4);
+    }
+}

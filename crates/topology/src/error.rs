@@ -1,0 +1,156 @@
+use core::fmt;
+
+use crate::NodeId;
+
+/// Error raised when a tree fails the open-cube structural invariant.
+///
+/// Produced by [`crate::OpenCube::verify`] and the checks in
+/// [`crate::invariant`]. Each variant pinpoints the first violated clause of
+/// the recursive definition of Section 2 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// The node count is not a power of two.
+    InvalidSize(usize),
+    /// The father pointers contain a cycle through this node.
+    Cycle(NodeId),
+    /// More than one node has `father = nil`.
+    MultipleRoots(NodeId, NodeId),
+    /// No node has `father = nil`.
+    NoRoot,
+    /// A node's power, recomputed from the tree shape, disagrees with the
+    /// power required by the open-cube definition.
+    WrongPower {
+        /// The offending node.
+        node: NodeId,
+        /// Power implied by the tree shape.
+        actual: u32,
+        /// Power required at this position.
+        expected: u32,
+    },
+    /// A node's sons do not have the required powers `0..power(node)`.
+    BadSonPowers {
+        /// The offending father.
+        node: NodeId,
+        /// The sorted list of its sons' powers.
+        son_powers: Vec<u32>,
+    },
+    /// An edge `(son, father)` joins nodes whose distance contradicts
+    /// Prop. 2.1 (`power(son) = dist(son, father) - 1`).
+    DistanceMismatch {
+        /// The son of the offending edge.
+        son: NodeId,
+        /// The father of the offending edge.
+        father: NodeId,
+    },
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::InvalidSize(n) => {
+                write!(f, "open-cube size must be a power of two, got {n}")
+            }
+            StructureError::Cycle(node) => {
+                write!(f, "father pointers contain a cycle through node {node}")
+            }
+            StructureError::MultipleRoots(a, b) => {
+                write!(f, "multiple roots: nodes {a} and {b} both have no father")
+            }
+            StructureError::NoRoot => write!(f, "no node has father = nil"),
+            StructureError::WrongPower { node, actual, expected } => write!(
+                f,
+                "node {node} has power {actual} but the structure requires {expected}"
+            ),
+            StructureError::BadSonPowers { node, son_powers } => write!(
+                f,
+                "node {node} has sons with powers {son_powers:?}, expected 0..power"
+            ),
+            StructureError::DistanceMismatch { son, father } => write!(
+                f,
+                "edge ({son}, {father}) violates power(son) = dist(son, father) - 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+/// Error raised by fallible topology operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A b-transformation was requested over an edge that is not a boundary
+    /// edge (Theorem 2.1 shows this would destroy the open-cube shape).
+    NotBoundaryEdge {
+        /// The son of the rejected edge.
+        son: NodeId,
+        /// The father of the rejected edge.
+        father: NodeId,
+    },
+    /// The named node is outside the tree's `1..=n` range.
+    UnknownNode(NodeId),
+    /// The pair is not a father/son edge of the current tree.
+    NotAnEdge {
+        /// Claimed son.
+        son: NodeId,
+        /// Claimed father.
+        father: NodeId,
+    },
+    /// The structural invariant is broken (wraps the detailed report).
+    Structure(StructureError),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NotBoundaryEdge { son, father } => {
+                write!(f, "edge ({son}, {father}) is not a boundary edge")
+            }
+            TopologyError::UnknownNode(node) => write!(f, "unknown node {node}"),
+            TopologyError::NotAnEdge { son, father } => {
+                write!(f, "({son}, {father}) is not an edge of the tree")
+            }
+            TopologyError::Structure(err) => write!(f, "structural invariant violated: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TopologyError::Structure(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<StructureError> for TopologyError {
+    fn from(err: StructureError) -> Self {
+        TopologyError::Structure(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = StructureError::InvalidSize(12);
+        assert!(err.to_string().contains("12"));
+        let err = TopologyError::UnknownNode(NodeId::new(99));
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn structure_error_converts() {
+        let err: TopologyError = StructureError::NoRoot.into();
+        assert!(matches!(err, TopologyError::Structure(StructureError::NoRoot)));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StructureError>();
+        assert_send_sync::<TopologyError>();
+    }
+}

@@ -1,0 +1,129 @@
+//! p-groups (Section 2): the aligned blocks of `2^p` identities that
+//! partition the cube at every scale.
+//!
+//! A p-group is the node set of an open-cube subtree with `2^p` nodes.
+//! Because b-transformations never change group membership (Cor. 2.2),
+//! groups are pure functions of the identities: the p-group of node `i` is
+//! its aligned block of `2^p` consecutive identities.
+
+use crate::{dimension, NodeId, OpenCube};
+
+/// The members of the p-group containing `id`, in increasing identity order.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, `id > n`, or `p > log2 n`.
+///
+/// ```
+/// use oc_topology::{p_group, NodeId};
+/// // Paper: in the 16-open-cube, {5,6,7,8} is a 2-group.
+/// let g: Vec<u32> = p_group(16, NodeId::new(6), 2).into_iter()
+///     .map(NodeId::get).collect();
+/// assert_eq!(g, vec![5, 6, 7, 8]);
+/// ```
+#[must_use]
+pub fn p_group(n: usize, id: NodeId, p: u32) -> Vec<NodeId> {
+    let pmax = dimension(n);
+    assert!((id.get() as usize) <= n, "node {id} outside 1..={n}");
+    assert!(p <= pmax, "group level {p} exceeds pmax {pmax}");
+    let size = 1u32 << p;
+    let base = id.zero_based() & !(size - 1);
+    (0..size).map(|k| NodeId::from_zero_based(base + k)).collect()
+}
+
+/// Alias of [`p_group`] reading as "the group of `id` at level `p`".
+#[must_use]
+pub fn group_of(n: usize, id: NodeId, p: u32) -> Vec<NodeId> {
+    p_group(n, id, p)
+}
+
+/// The root of the p-group containing `id` in the given tree: the unique
+/// member whose power is ≥ `p`.
+///
+/// Every p-group is an open-cube subtree at all times, so it has exactly one
+/// such member. Returns that member.
+///
+/// # Panics
+///
+/// Panics on out-of-range arguments, or if the tree is not currently a valid
+/// open-cube (no unique root exists in the group).
+#[must_use]
+pub fn group_root(cube: &OpenCube, id: NodeId, p: u32) -> NodeId {
+    let members = p_group(cube.len(), id, p);
+    let mut roots = members.iter().copied().filter(|m| cube.power(*m) >= p);
+    let root = roots.next().expect("a p-group has a root");
+    assert!(roots.next().is_none(), "a p-group has exactly one root");
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_groups_of_16_cube() {
+        // Paper: {1,2}, {3,4}, ..., {15,16} are 1-groups; {1,2,3,4} etc.
+        // 2-groups; {1..8}, {9..16} 3-groups; {1..16} the 4-group.
+        let g1: Vec<u32> = p_group(16, NodeId::new(15), 1).into_iter().map(NodeId::get).collect();
+        assert_eq!(g1, vec![15, 16]);
+        let g2: Vec<u32> = p_group(16, NodeId::new(10), 2).into_iter().map(NodeId::get).collect();
+        assert_eq!(g2, vec![9, 10, 11, 12]);
+        let g3: Vec<u32> = p_group(16, NodeId::new(2), 3).into_iter().map(NodeId::get).collect();
+        assert_eq!(g3, (1..=8).collect::<Vec<u32>>());
+        let g4 = p_group(16, NodeId::new(7), 4);
+        assert_eq!(g4.len(), 16);
+    }
+
+    #[test]
+    fn zero_group_is_singleton() {
+        for id in NodeId::all(8) {
+            assert_eq!(p_group(8, id, 0), vec![id]);
+        }
+    }
+
+    #[test]
+    fn groups_nest() {
+        let n = 64;
+        for id in NodeId::all(n) {
+            for p in 0..6 {
+                let small = p_group(n, id, p);
+                let big = p_group(n, id, p + 1);
+                assert!(small.iter().all(|m| big.contains(m)));
+            }
+        }
+    }
+
+    #[test]
+    fn group_membership_matches_distance() {
+        // dist(i, j) <= p  <=>  j in p_group(i, p).
+        let n = 32;
+        for i in NodeId::all(n) {
+            for p in 0..=5 {
+                let group = p_group(n, i, p);
+                for j in NodeId::all(n) {
+                    assert_eq!(group.contains(&j), crate::dist(i, j) <= p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_root_of_canonical_cube() {
+        let cube = OpenCube::canonical(16);
+        assert_eq!(group_root(&cube, NodeId::new(6), 2), NodeId::new(5));
+        assert_eq!(group_root(&cube, NodeId::new(16), 3), NodeId::new(9));
+        assert_eq!(group_root(&cube, NodeId::new(16), 4), NodeId::new(1));
+    }
+
+    #[test]
+    fn group_root_tracks_b_transformations() {
+        // Swap (7,5) in the 16-cube: 7 becomes the root of the 2-group
+        // {5,6,7,8}; the group membership itself is unchanged (Cor. 2.2).
+        let mut cube = OpenCube::canonical(16);
+        cube.b_transform(NodeId::new(7), NodeId::new(5)).unwrap();
+        assert_eq!(group_root(&cube, NodeId::new(6), 2), NodeId::new(7));
+        let g: Vec<u32> =
+            p_group(16, NodeId::new(7), 2).into_iter().map(NodeId::get).collect();
+        assert_eq!(g, vec![5, 6, 7, 8]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Correspondence with the hypercube (Figure 3): an `n`-open-cube is an
+//! `n`-hypercube with some links removed, which is why the paper names the
+//! structure as it does and why it maps naturally onto hypercube machines
+//! like the iPSC/2 the authors tested on.
+
+use crate::{dist, NodeId, OpenCube};
+
+/// `true` if `(a, b)` is an edge of the `log2 n`-dimensional hypercube on
+/// identities `1..=n`: their 0-based indices differ in exactly one bit.
+///
+/// ```
+/// use oc_topology::{hypercube::is_hypercube_edge, NodeId};
+/// assert!(is_hypercube_edge(NodeId::new(1), NodeId::new(2)));  // 000-001
+/// assert!(is_hypercube_edge(NodeId::new(3), NodeId::new(7)));  // 010-110
+/// assert!(!is_hypercube_edge(NodeId::new(1), NodeId::new(4))); // 000-011
+/// ```
+#[must_use]
+pub fn is_hypercube_edge(a: NodeId, b: NodeId) -> bool {
+    (a.zero_based() ^ b.zero_based()).count_ones() == 1
+}
+
+/// All hypercube edges of the `n`-node system, as `(smaller, larger)` pairs.
+#[must_use]
+pub fn hypercube_edges(n: usize) -> Vec<(NodeId, NodeId)> {
+    let p = crate::dimension(n);
+    let mut edges = Vec::with_capacity(n / 2 * p as usize);
+    for a in NodeId::all(n) {
+        for bit in 0..p {
+            let zb = a.zero_based() ^ (1 << bit);
+            if zb > a.zero_based() {
+                edges.push((a, NodeId::from_zero_based(zb)));
+            }
+        }
+    }
+    edges
+}
+
+/// `true` if every edge of the tree is also a hypercube edge — the defining
+/// embedding of Figure 3.
+///
+/// This holds for the **canonical** cube. After b-transformations the tree
+/// stays an open-cube (same shape class) but its edges may join nodes at
+/// distance `d` whose indices differ in more than one bit, so the embedding
+/// property is specific to the canonical labelling.
+#[must_use]
+pub fn embeds_in_hypercube(cube: &OpenCube) -> bool {
+    cube.iter_nodes().all(|i| match cube.father(i) {
+        Some(f) => is_hypercube_edge(i, f),
+        None => true,
+    })
+}
+
+/// Dilation of an edge set over the hypercube: the maximum number of
+/// hypercube hops an edge must traverse. For any open-cube edge `(i, f)`,
+/// `power(i) + 1 = dist(i, f)` bounds the identity distance; on a hypercube
+/// host the message travels at most `dist` dimensions.
+#[must_use]
+pub fn max_edge_identity_distance(cube: &OpenCube) -> u32 {
+    cube.iter_nodes()
+        .filter_map(|i| cube.father(i).map(|f| dist(i, f)))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_3_embedding() {
+        // The canonical 8-open-cube's 7 edges are all hypercube edges
+        // (Figure 3 left vs right).
+        let cube = OpenCube::canonical(8);
+        assert!(embeds_in_hypercube(&cube));
+        assert_eq!(hypercube_edges(8).len(), 12); // 8 * 3 / 2
+    }
+
+    #[test]
+    fn canonical_embedding_all_sizes() {
+        for p in 0..=9 {
+            assert!(embeds_in_hypercube(&OpenCube::canonical(1 << p)));
+        }
+    }
+
+    #[test]
+    fn open_cube_has_n_minus_1_of_the_edges() {
+        // An open-cube keeps exactly n-1 of the hypercube's n·p/2 links.
+        let n = 16;
+        let cube = OpenCube::canonical(n);
+        let tree_edges = cube.iter_nodes().filter(|i| cube.father(*i).is_some()).count();
+        assert_eq!(tree_edges, n - 1);
+    }
+
+    #[test]
+    fn transformed_tree_keeps_distance_bound() {
+        use crate::transform::apply_request_transformation;
+        let mut cube = OpenCube::canonical(32);
+        for i in 1..=32u32 {
+            apply_request_transformation(&mut cube, NodeId::new(i)).unwrap();
+            assert!(max_edge_identity_distance(&cube) <= cube.pmax());
+        }
+    }
+}

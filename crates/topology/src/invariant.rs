@@ -1,0 +1,244 @@
+//! Full structural verification of the open-cube invariant.
+//!
+//! [`verify_open_cube`] checks a father table against the recursive
+//! definition of Section 2. It is deliberately *independent* of the closed
+//! forms in [`crate::canonical`] and of the derived-power shortcut of
+//! Prop. 2.1 — it recomputes powers from the tree shape alone — so it can
+//! serve as an oracle for everything else in the crate (and for the
+//! simulator's quiescence checks).
+
+use std::collections::HashMap;
+
+use crate::{dist, NodeId, StructureError};
+
+/// Checks that `fathers` (indexed by 0-based node index) is an open-cube.
+///
+/// The verification proceeds in four stages:
+///
+/// 1. size is a power of two, exactly one root, no cycles;
+/// 2. *shape powers*: compute each node's power bottom-up as
+///    `max(son powers) + 1` over its sons (0 for leaves), and check each
+///    node of shape power `q` has exactly `q` sons with shape powers
+///    `0..q` — this is the defining property of an open-cube subtree;
+/// 3. the root's shape power is `log2 n`;
+/// 4. every edge satisfies Prop. 2.1: `power(son) = dist(son, father) - 1`
+///    — i.e. the tree's *placement* among identities is consistent with the
+///    p-group structure, not just its shape.
+///
+/// # Errors
+///
+/// Returns the first violated clause.
+pub fn verify_open_cube(fathers: &[Option<NodeId>]) -> Result<(), StructureError> {
+    let n = fathers.len();
+    if !crate::is_valid_size(n) {
+        return Err(StructureError::InvalidSize(n));
+    }
+    let pmax = crate::dimension(n);
+
+    // Stage 1: exactly one root, no cycles.
+    let mut root: Option<NodeId> = None;
+    for id in NodeId::all(n) {
+        if fathers[id.zero_based() as usize].is_none() {
+            match root {
+                None => root = Some(id),
+                Some(r) => return Err(StructureError::MultipleRoots(r, id)),
+            }
+        }
+    }
+    let root = root.ok_or(StructureError::NoRoot)?;
+    for id in NodeId::all(n) {
+        let mut cur = id;
+        let mut steps = 0;
+        while let Some(f) = fathers[cur.zero_based() as usize] {
+            cur = f;
+            steps += 1;
+            if steps > n {
+                return Err(StructureError::Cycle(id));
+            }
+        }
+    }
+
+    // Stage 2: shape powers, bottom-up.
+    let mut sons: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for id in NodeId::all(n) {
+        if let Some(f) = fathers[id.zero_based() as usize] {
+            sons.entry(f).or_default().push(id);
+        }
+    }
+    // Topological order: process nodes by decreasing depth.
+    let mut depth = vec![0usize; n];
+    for id in NodeId::all(n) {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(f) = fathers[cur.zero_based() as usize] {
+            d += 1;
+            cur = f;
+        }
+        depth[id.zero_based() as usize] = d;
+    }
+    let mut order: Vec<NodeId> = NodeId::all(n).collect();
+    order.sort_by_key(|id| std::cmp::Reverse(depth[id.zero_based() as usize]));
+
+    let mut shape_power: HashMap<NodeId, u32> = HashMap::new();
+    for id in order {
+        let my_sons = sons.get(&id).cloned().unwrap_or_default();
+        let mut powers: Vec<u32> =
+            my_sons.iter().map(|s| shape_power[s]).collect();
+        powers.sort_unstable();
+        let q = powers.len() as u32;
+        // An open-cube node of power q has exactly sons of powers 0..q.
+        let expected: Vec<u32> = (0..q).collect();
+        if powers != expected {
+            return Err(StructureError::BadSonPowers { node: id, son_powers: powers });
+        }
+        shape_power.insert(id, q);
+    }
+
+    // Stage 3: root power is pmax.
+    if shape_power[&root] != pmax {
+        return Err(StructureError::WrongPower {
+            node: root,
+            actual: shape_power[&root],
+            expected: pmax,
+        });
+    }
+
+    // Stage 4: identity placement (Prop. 2.1) on every edge.
+    for id in NodeId::all(n) {
+        if let Some(f) = fathers[id.zero_based() as usize] {
+            if shape_power[&id] + 1 != dist(id, f) {
+                return Err(StructureError::DistanceMismatch { son: id, father: f });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Recomputes every node's power from the tree shape alone (number of sons,
+/// which equals the power in a valid open-cube). Intended for oracles that
+/// want powers without trusting Prop. 2.1.
+///
+/// # Panics
+///
+/// Panics if the father table contains a cycle.
+#[must_use]
+pub fn shape_powers(fathers: &[Option<NodeId>]) -> Vec<u32> {
+    let n = fathers.len();
+    let mut counts = vec![0u32; n];
+    for id in NodeId::all(n) {
+        if let Some(f) = fathers[id.zero_based() as usize] {
+            counts[f.zero_based() as usize] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpenCube;
+
+    fn table(n: usize) -> Vec<Option<NodeId>> {
+        OpenCube::canonical(n).fathers().to_vec()
+    }
+
+    #[test]
+    fn canonical_cubes_verify() {
+        for p in 0..=9 {
+            assert!(verify_open_cube(&table(1 << p)).is_ok());
+        }
+    }
+
+    #[test]
+    fn detects_no_root() {
+        let mut t = table(4);
+        t[0] = Some(NodeId::new(2)); // 1 -> 2, creating a cycle 1<->2 and no root
+        assert!(matches!(
+            verify_open_cube(&t),
+            Err(StructureError::NoRoot) | Err(StructureError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn detects_multiple_roots() {
+        let mut t = table(4);
+        t[2] = None; // node 3 also becomes a root
+        assert_eq!(
+            verify_open_cube(&t),
+            Err(StructureError::MultipleRoots(NodeId::new(1), NodeId::new(3)))
+        );
+    }
+
+    #[test]
+    fn detects_figure_5_breakage() {
+        // Paper Figure 5: father(2):=nil, father(1):=2 in the 4-cube.
+        let mut t = table(4);
+        t[1] = None; // father(2) := nil
+        t[0] = Some(NodeId::new(2)); // father(1) := 2
+        assert!(verify_open_cube(&t).is_err());
+    }
+
+    #[test]
+    fn detects_bad_son_powers() {
+        // Star on 4 nodes: 2,3,4 all point at 1. Node 1 would need sons of
+        // powers 0,1 but has three power-0 sons.
+        let t = vec![
+            None,
+            Some(NodeId::new(1)),
+            Some(NodeId::new(1)),
+            Some(NodeId::new(1)),
+        ];
+        assert!(matches!(
+            verify_open_cube(&t),
+            Err(StructureError::BadSonPowers { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_wrong_identity_placement() {
+        // A chain 4 -> 3 -> 2 -> 1 has valid *shape* for n=4? No: node 1
+        // would have one son of power... chain: 1 has son 2 (power: 2 has son
+        // 3 which has son 4). Shape powers: 4:0, 3:1, 2:2 -> node 2 needs
+        // sons of powers 0 and 1 but only has 3. So BadSonPowers fires.
+        let t = vec![
+            None,
+            Some(NodeId::new(1)),
+            Some(NodeId::new(2)),
+            Some(NodeId::new(3)),
+        ];
+        assert!(verify_open_cube(&t).is_err());
+
+        // Valid shape but wrong placement: in the 4-cube swap identities so
+        // that node 2 (instead of 3) roots the upper 1-group:
+        // fathers: 1<-2? Try: 3->1, 2->3, 4->1 : node 1 sons {3(power 1),
+        // 4(power 0)} shape-valid; but edge (4,1): dist(4,1)=2, power(4)=0,
+        // needs dist-1=1 -> mismatch.
+        let t = vec![
+            None,
+            Some(NodeId::new(3)),
+            Some(NodeId::new(1)),
+            Some(NodeId::new(1)),
+        ];
+        assert!(matches!(
+            verify_open_cube(&t),
+            Err(StructureError::DistanceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_powers_match_derived_powers() {
+        let cube = OpenCube::canonical(64);
+        let sp = shape_powers(cube.fathers());
+        for id in cube.iter_nodes() {
+            assert_eq!(sp[id.zero_based() as usize], cube.power(id));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_size() {
+        assert_eq!(
+            verify_open_cube(&[None, Some(NodeId::new(1)), Some(NodeId::new(1))]),
+            Err(StructureError::InvalidSize(3))
+        );
+    }
+}

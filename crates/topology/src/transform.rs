@@ -1,0 +1,169 @@
+//! b-transformation sequences — the equivalence the correctness proof of
+//! Section 4 relies on.
+//!
+//! When a node `i` issues a request, the transit nodes on its path each
+//! perform *half* of a b-transformation immediately, and `i` performs the
+//! other half when the token arrives. Section 4 shows the net effect equals
+//! a *sequence of whole b-transformations* walking `i` up its boundary
+//! prefix. This module implements those whole-sequence operations so tests
+//! and oracles can compare the distributed algorithm's final tree against
+//! the sequential specification.
+
+use crate::{NodeId, OpenCube, TopologyError};
+
+/// All boundary edges `(son, father)` of the current tree, in identity
+/// order of the son.
+///
+/// The boundary edges are exactly the legal b-transformations; there is one
+/// per node of power ≥ 1, i.e. `n - n/2 = n/2`... more precisely one per
+/// non-leaf node.
+#[must_use]
+pub fn boundary_edges(cube: &OpenCube) -> Vec<(NodeId, NodeId)> {
+    cube.iter_nodes()
+        .filter_map(|f| cube.last_son(f).map(|s| (s, f)))
+        .collect()
+}
+
+/// The maximal *boundary prefix* of the branch from `i` to the root: the
+/// nodes `i = i0, i1, ..., ik` such that every edge `(i_l, i_{l+1})` with
+/// `l < k` is a boundary edge, ending at the first node whose upward edge is
+/// not a boundary edge (or at the root).
+///
+/// This is exactly the set of transit nodes a request from `i` traverses
+/// (plus `i` itself); `i_k` is the proxy (or the root).
+#[must_use]
+pub fn boundary_prefix(cube: &OpenCube, i: NodeId) -> Vec<NodeId> {
+    let mut prefix = vec![i];
+    let mut cur = i;
+    while let Some(f) = cube.father(cur) {
+        if cube.is_boundary_edge(cur, f) {
+            prefix.push(f);
+            cur = f;
+        } else {
+            break;
+        }
+    }
+    prefix
+}
+
+/// Applies the net tree transformation caused by a (failure-free,
+/// uncontended) request from `i`, per the two cases of Section 4:
+///
+/// * if the whole path `i .. root` consists of boundary edges, `i` becomes
+///   the new root (case 1, Figure 9);
+/// * otherwise `i` becomes the last son of its closest proxy ancestor
+///   `i_k` — the first node reached over a non-boundary edge (case 2).
+///
+/// Returns the node that ends up as `i`'s father (`None` if `i` became the
+/// root).
+///
+/// # Errors
+///
+/// Propagates [`TopologyError`] if an internal swap is rejected — which
+/// would indicate a bug, since the prefix is boundary by construction.
+pub fn apply_request_transformation(
+    cube: &mut OpenCube,
+    i: NodeId,
+) -> Result<Option<NodeId>, TopologyError> {
+    // Walk i up through its boundary prefix one b-transformation at a time.
+    // After each swap, i's former grandfather becomes its father, and the
+    // next prefix edge is again a boundary edge (Theorem 2.1 keeps powers
+    // aligned), so the loop re-tests at each step.
+    loop {
+        match cube.father(i) {
+            None => return Ok(None),
+            Some(f) => {
+                if cube.is_boundary_edge(i, f) {
+                    cube.b_transform(i, f)?;
+                } else {
+                    return Ok(Some(f));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_edge_count() {
+        // Every node of power >= 1 has exactly one last son, so the number
+        // of boundary edges equals the number of non-leaf nodes: n/2 in a
+        // canonical cube (identities with even zero-based index... actually
+        // nodes of power >= 1).
+        for p in 1..=8 {
+            let n = 1usize << p;
+            let cube = OpenCube::canonical(n);
+            let edges = boundary_edges(&cube);
+            let non_leaves = cube.iter_nodes().filter(|i| cube.power(*i) >= 1).count();
+            assert_eq!(edges.len(), non_leaves);
+            for (s, f) in edges {
+                assert!(cube.is_boundary_edge(s, f));
+            }
+        }
+    }
+
+    #[test]
+    fn figure_9_full_boundary_path() {
+        // In the canonical 16-cube, the path 16 -> 15 -> 13 -> 9 -> 1 is all
+        // boundary edges; after the request transformation node 16 is root.
+        let mut cube = OpenCube::canonical(16);
+        let prefix: Vec<u32> =
+            boundary_prefix(&cube, NodeId::new(16)).into_iter().map(NodeId::get).collect();
+        assert_eq!(prefix, vec![16, 15, 13, 9, 1]);
+        let father = apply_request_transformation(&mut cube, NodeId::new(16)).unwrap();
+        assert_eq!(father, None);
+        assert_eq!(cube.root(), NodeId::new(16));
+        assert!(cube.verify().is_ok());
+        // Final fathers per Figure 9: each former ancestor now points at 16.
+        assert_eq!(cube.father(NodeId::new(15)), Some(NodeId::new(16)));
+        assert_eq!(cube.father(NodeId::new(13)), Some(NodeId::new(16)));
+        assert_eq!(cube.father(NodeId::new(9)), Some(NodeId::new(16)));
+        assert_eq!(cube.father(NodeId::new(1)), Some(NodeId::new(16)));
+    }
+
+    #[test]
+    fn proxy_stops_the_walk() {
+        // Node 8's path in the 16-cube: 8 ->(boundary) 7 ->(boundary) 5
+        // ->(non-boundary? dist(5,1)=3, power(5)=2 -> boundary!) Let's check
+        // node 6: 6 -> 5 with dist(6,5)=1, power(6)=0 -> boundary iff
+        // power(5) = 1; power(5)=2, so NOT boundary: 5 acts as proxy for 6.
+        let mut cube = OpenCube::canonical(16);
+        let prefix: Vec<u32> =
+            boundary_prefix(&cube, NodeId::new(6)).into_iter().map(NodeId::get).collect();
+        assert_eq!(prefix, vec![6]);
+        let father = apply_request_transformation(&mut cube, NodeId::new(6)).unwrap();
+        assert_eq!(father, Some(NodeId::new(5)));
+        // 6 did not move: its first upward edge was already non-boundary.
+        assert_eq!(cube, OpenCube::canonical(16));
+    }
+
+    #[test]
+    fn partial_boundary_walk() {
+        // Node 8: 8->7 boundary (power(7)=1? dist(8,7)=1, power(8)=0 ->
+        // boundary iff power(7)=power(8)+1=1; power(7) = dist(7,5)-1 = 1.
+        // yes). 7->5: dist(7,5)=2, power(7)=1 -> boundary iff power(5)=2:
+        // yes. 5->1: dist(5,1)=3, power(5)=2 -> boundary iff power(1)=3:
+        // power(1)=4, NOT boundary. So 8 walks past 7 and 5, then 1 is its
+        // proxy... wait: after 8 swaps with 7 and 5, its father is 1 and
+        // power(8)=2; the edge (8,1) has dist 3, power(1)=4 -> non-boundary.
+        let mut cube = OpenCube::canonical(16);
+        let father = apply_request_transformation(&mut cube, NodeId::new(8)).unwrap();
+        assert_eq!(father, Some(NodeId::new(1)));
+        assert!(cube.verify().is_ok());
+        assert_eq!(cube.power(NodeId::new(8)), 2);
+        assert_eq!(cube.father(NodeId::new(7)), Some(NodeId::new(8)));
+        assert_eq!(cube.father(NodeId::new(5)), Some(NodeId::new(8)));
+    }
+
+    #[test]
+    fn request_transformation_preserves_invariant_everywhere() {
+        for start in 1..=32u32 {
+            let mut cube = OpenCube::canonical(32);
+            apply_request_transformation(&mut cube, NodeId::new(start)).unwrap();
+            assert!(cube.verify().is_ok(), "after request from {start}");
+        }
+    }
+}

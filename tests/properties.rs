@@ -1,0 +1,153 @@
+//! Workspace-level property tests: randomized workloads and failure plans
+//! against the safety/liveness oracles, across all algorithms.
+
+use opencube::algo::{father_table, Config, OpenCubeNode};
+use opencube::baselines::{NaimiTrehelNode, RaymondNode};
+use opencube::sim::{
+    ArrivalSchedule, DelayModel, Protocol, SimConfig, SimDuration, SimTime, World,
+};
+use opencube::topology::{invariant, NodeId};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+const DELTA: u64 = 10;
+const CS: u64 = 50;
+
+fn sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        delay: DelayModel::Uniform {
+            min: SimDuration::from_ticks(1),
+            max: SimDuration::from_ticks(DELTA),
+        },
+        cs_duration: SimDuration::from_ticks(CS),
+        seed,
+        record_trace: false,
+        max_events: 30_000_000,
+    }
+}
+
+/// Strategy: system size, request count, gap and seed.
+fn scenario() -> impl Strategy<Value = (usize, usize, u64, u64)> {
+    (1u32..=6, 1usize..60, 5u64..300, 0u64..u64::MAX).prop_map(|(p, count, gap, seed)| {
+        (1usize << p, count, gap, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Open-cube without failures: every request served, mutual exclusion
+    /// clean, tree a legal open-cube at quiescence.
+    #[test]
+    fn open_cube_safety_liveness((n, count, gap, seed) in scenario()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = ArrivalSchedule::uniform(&mut rng, n, count, SimDuration::from_ticks(gap));
+        let cfg = Config::without_fault_tolerance(
+            n,
+            SimDuration::from_ticks(DELTA),
+            SimDuration::from_ticks(CS),
+        );
+        let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(cfg));
+        world.schedule_workload(&schedule);
+        prop_assert!(world.run_to_quiescence());
+        prop_assert!(world.oracle_report().is_clean());
+        prop_assert_eq!(world.metrics().cs_entries, count as u64);
+        prop_assert!(invariant::verify_open_cube(&father_table(&world)).is_ok());
+        // Exactly one token at rest.
+        let holders = NodeId::all(n).filter(|id| world.node(*id).holds_token()).count();
+        prop_assert_eq!(holders, 1);
+    }
+
+    /// Raymond under the same scenarios.
+    #[test]
+    fn raymond_safety_liveness((n, count, gap, seed) in scenario()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = ArrivalSchedule::uniform(&mut rng, n, count, SimDuration::from_ticks(gap));
+        let mut world = World::new(sim_config(seed), RaymondNode::build_all(n));
+        world.schedule_workload(&schedule);
+        prop_assert!(world.run_to_quiescence());
+        prop_assert!(world.oracle_report().is_clean());
+        prop_assert_eq!(world.metrics().cs_entries, count as u64);
+    }
+
+    /// Naimi-Trehel under the same scenarios.
+    #[test]
+    fn naimi_trehel_safety_liveness((n, count, gap, seed) in scenario()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = ArrivalSchedule::uniform(&mut rng, n, count, SimDuration::from_ticks(gap));
+        let mut world = World::new(sim_config(seed), NaimiTrehelNode::build_all(n));
+        world.schedule_workload(&schedule);
+        prop_assert!(world.run_to_quiescence());
+        prop_assert!(world.oracle_report().is_clean());
+        prop_assert_eq!(world.metrics().cs_entries, count as u64);
+    }
+
+    /// Open-cube with a random single crash + recovery under load: the
+    /// oracle stays clean (timing assumptions hold thanks to the slack)
+    /// and the system keeps serving afterwards.
+    #[test]
+    fn open_cube_single_failure(
+        (n, count, seed) in (2u32..=5, 4usize..30, 0u64..u64::MAX)
+            .prop_map(|(p, c, s)| (1usize << p, c, s)),
+        victim_raw in 2u32..32,
+        crash_at in 50u64..5_000,
+    ) {
+        let n32 = n as u32;
+        let victim = NodeId::new(victim_raw % n32 + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule =
+            ArrivalSchedule::uniform(&mut rng, n, count, SimDuration::from_ticks(2_000));
+        let cfg = Config::new(n, SimDuration::from_ticks(DELTA), SimDuration::from_ticks(CS))
+            .with_contention_slack(SimDuration::from_ticks(1_000));
+        let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(cfg));
+        world.schedule_workload(&schedule);
+        world.schedule_failure(SimTime::from_ticks(crash_at), victim);
+        world.schedule_recovery(SimTime::from_ticks(crash_at + 15_000), victim);
+        // A probe request well after recovery must be serveable.
+        let prober = NodeId::new(victim.get() % n32 + 1);
+        world.schedule_request(SimTime::from_ticks(200_000), prober);
+        prop_assert!(world.run_to_quiescence());
+        prop_assert!(world.oracle_report().is_clean(),
+            "violations: {:?}", world.oracle_report().violations());
+        // One live token at the end.
+        let holders = NodeId::all(n)
+            .filter(|id| world.is_alive(*id) && world.node(*id).holds_token())
+            .count();
+        prop_assert_eq!(holders, 1);
+        // Only requests from the crash window can be lost.
+        prop_assert!(world.metrics().cs_entries + 4 >= world.requests_injected());
+    }
+
+    /// The message-per-request worst case bound holds on random evolved
+    /// trees (paper accounting).
+    #[test]
+    fn worst_case_bound_random_trees(
+        (n, seed) in (1u32..=6, 0u64..u64::MAX).prop_map(|(p, s)| (1usize << p, s)),
+        warmup in 0usize..40,
+    ) {
+        let cfg = Config::without_fault_tolerance(
+            n,
+            SimDuration::from_ticks(DELTA),
+            SimDuration::from_ticks(CS),
+        );
+        let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(cfg));
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random warmup to evolve the tree.
+        let warm = ArrivalSchedule::uniform(&mut rng, n, warmup, SimDuration::from_ticks(1_000));
+        world.schedule_workload(&warm);
+        prop_assert!(world.run_to_quiescence());
+        let before = world.metrics().total_sent();
+        // One measured request.
+        let requester = NodeId::new((seed % n as u64) as u32 + 1);
+        world.schedule_request(world.now(), requester);
+        prop_assert!(world.run_to_quiescence());
+        let cost = world.metrics().total_sent() - before;
+        let paper_cost = if world.node(requester).believes_root() {
+            cost
+        } else {
+            cost.saturating_sub(1)
+        };
+        let bound = u64::from(n.trailing_zeros()) + 1;
+        prop_assert!(paper_cost <= bound, "cost {paper_cost} > bound {bound} at n={n}");
+    }
+}
