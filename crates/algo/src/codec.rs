@@ -250,10 +250,7 @@ mod tests {
     fn bad_tag_and_fields_are_detected() {
         assert_eq!(decode(&[0xFF]).unwrap_err(), DecodeError::BadTag(0xFF));
         // Token with has_lender = 7.
-        assert_eq!(
-            decode(&[TAG_TOKEN, 7]).unwrap_err(),
-            DecodeError::BadField("has_lender")
-        );
+        assert_eq!(decode(&[TAG_TOKEN, 7]).unwrap_err(), DecodeError::BadField("has_lender"));
         // Node id 0 in a request.
         let mut bad = vec![TAG_REQUEST];
         bad.extend_from_slice(&0u32.to_le_bytes());

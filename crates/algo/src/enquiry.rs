@@ -13,8 +13,8 @@
 //!   down: regenerate;
 //! * `s` does not answer within `2δ` → `s` is down: regenerate.
 
-use oc_topology::NodeId;
 use oc_sim::Outbox;
+use oc_topology::NodeId;
 
 use crate::{
     message::{EnquiryStatus, Msg},
@@ -127,10 +127,9 @@ mod tests {
             2,
             Msg::Request { claimant: NodeId::new(2), source: NodeId::new(2), source_seq: 7 },
         );
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Send { msg: Msg::Token { lender: Some(_) }, .. }
-        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { msg: Msg::Token { lender: Some(_) }, .. })));
         assert!(root.loan.is_some());
         root
     }
@@ -184,9 +183,7 @@ mod tests {
         );
         assert!(!root.holds_token());
         assert!(root.loan.is_some());
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { id: TIMER_ROOT_LOAN, .. })));
+        assert!(actions.iter().any(|a| matches!(a, Action::SetTimer { id: TIMER_ROOT_LOAN, .. })));
     }
 
     #[test]
@@ -243,19 +240,13 @@ mod tests {
         let actions = deliver(&mut source, 1, Msg::Enquiry { source_seq: 1 });
         assert!(matches!(
             actions[..],
-            [Action::Send {
-                msg: Msg::EnquiryReply { status: EnquiryStatus::TokenLost, .. },
-                ..
-            }]
+            [Action::Send { msg: Msg::EnquiryReply { status: EnquiryStatus::TokenLost, .. }, .. }]
         ));
         let _ = deliver(&mut source, 1, Msg::Token { lender: Some(NodeId::new(1)) });
         let actions = deliver(&mut source, 1, Msg::Enquiry { source_seq: 1 });
         assert!(matches!(
             actions[..],
-            [Action::Send {
-                msg: Msg::EnquiryReply { status: EnquiryStatus::StillInCs, .. },
-                ..
-            }]
+            [Action::Send { msg: Msg::EnquiryReply { status: EnquiryStatus::StillInCs, .. }, .. }]
         ));
         let _ = drain(&mut source, NodeEvent::ExitCs);
         let actions = deliver(&mut source, 1, Msg::Enquiry { source_seq: 1 });

@@ -14,8 +14,8 @@
 
 use core::fmt;
 
-use oc_topology::NodeId;
 use oc_sim::{MessageKind, MsgKind};
+use oc_topology::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// Status carried by an enquiry reply (Section 5, "Root" cases).
@@ -136,30 +136,19 @@ mod tests {
 
     #[test]
     fn debug_uses_paper_notation() {
-        let req = Msg::Request {
-            claimant: NodeId::new(8),
-            source: NodeId::new(8),
-            source_seq: 1,
-        };
+        let req = Msg::Request { claimant: NodeId::new(8), source: NodeId::new(8), source_seq: 1 };
         assert_eq!(format!("{req:?}"), "request(8)");
         assert_eq!(format!("{:?}", Msg::Token { lender: None }), "token(nil)");
-        assert_eq!(
-            format!("{:?}", Msg::Token { lender: Some(NodeId::new(9)) }),
-            "token(9)"
-        );
+        assert_eq!(format!("{:?}", Msg::Token { lender: Some(NodeId::new(9)) }), "token(9)");
         assert_eq!(format!("{:?}", Msg::Test { d: 3 }), "test(3)");
-        assert_eq!(
-            format!("{:?}", Msg::Answer { kind: AnswerKind::Ok, d: 2 }),
-            "answer(ok,2)"
-        );
+        assert_eq!(format!("{:?}", Msg::Answer { kind: AnswerKind::Ok, d: 2 }), "answer(ok,2)");
         assert_eq!(format!("{:?}", Msg::Anomaly), "anomaly");
     }
 
     #[test]
     fn kinds_are_mapped() {
         assert_eq!(
-            Msg::Request { claimant: NodeId::new(1), source: NodeId::new(1), source_seq: 0 }
-                .kind(),
+            Msg::Request { claimant: NodeId::new(1), source: NodeId::new(1), source_seq: 0 }.kind(),
             MsgKind::Request
         );
         assert_eq!(Msg::Token { lender: None }.kind(), MsgKind::Token);

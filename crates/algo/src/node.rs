@@ -4,15 +4,10 @@
 
 use std::collections::VecDeque;
 
-use oc_topology::{canonical_father, dist, NodeId};
 use oc_sim::{NodeEvent, Outbox, Protocol};
+use oc_topology::{canonical_father, dist, NodeId};
 
-use crate::{
-    config::Config,
-    message::Msg,
-    search::SearchState,
-    stats::NodeStats,
-};
+use crate::{config::Config, message::Msg, search::SearchState, stats::NodeStats};
 
 /// Timer identities (node-local).
 pub(crate) const TIMER_TOKEN_WAIT: u64 = 1;
@@ -27,11 +22,7 @@ pub(crate) enum Work {
     /// The local application's `enter_cs` call.
     Local,
     /// A received `request` message.
-    Remote {
-        claimant: NodeId,
-        source: NodeId,
-        source_seq: u64,
-    },
+    Remote { claimant: NodeId, source: NodeId, source_seq: u64 },
 }
 
 /// The local application's outstanding claim, tracked so the node can
@@ -108,11 +99,7 @@ impl OpenCubeNode {
     /// Panics if `id` is outside `1..=cfg.n`.
     #[must_use]
     pub fn new(id: NodeId, cfg: Config) -> Self {
-        assert!(
-            (id.get() as usize) <= cfg.n,
-            "node {id} outside 1..={}",
-            cfg.n
-        );
+        assert!((id.get() as usize) <= cfg.n, "node {id} outside 1..={}", cfg.n);
         let father = canonical_father(cfg.n, id);
         let is_root = father.is_none();
         OpenCubeNode {
@@ -253,9 +240,7 @@ impl OpenCubeNode {
             self.local_claim = Some(LocalClaim { seq, in_cs: false });
             self.mandator = Some(self.id);
             self.current_claim = Some((self.id, seq));
-            let father = self
-                .father
-                .expect("a non-root node without the token has a father");
+            let father = self.father.expect("a non-root node without the token has a father");
             out.send(father, self.id_request(seq));
             self.arm_token_wait(out);
         }
@@ -296,9 +281,7 @@ impl OpenCubeNode {
                 self.token_here = false;
                 out.send(claimant, Msg::Token { lender: None });
             } else {
-                let father = self
-                    .father
-                    .expect("a transit node without the token has a father");
+                let father = self.father.expect("a transit node without the token has a father");
                 out.send(father, Msg::Request { claimant, source, source_seq });
             }
             // First half of the b-transformation.
@@ -315,13 +298,8 @@ impl OpenCubeNode {
             } else {
                 self.mandator = Some(claimant);
                 self.current_claim = Some((source, source_seq));
-                let father = self
-                    .father
-                    .expect("a proxy node without the token has a father");
-                out.send(
-                    father,
-                    Msg::Request { claimant: self.id, source, source_seq },
-                );
+                let father = self.father.expect("a proxy node without the token has a father");
+                out.send(father, Msg::Request { claimant: self.id, source, source_seq });
                 self.arm_token_wait(out);
             }
         }
@@ -333,9 +311,10 @@ impl OpenCubeNode {
         if self.mandator == Some(claimant) {
             return;
         }
-        let already_queued = self.queue.iter().any(|w| {
-            matches!(w, Work::Remote { claimant: c, .. } if *c == claimant)
-        });
+        let already_queued = self
+            .queue
+            .iter()
+            .any(|w| matches!(w, Work::Remote { claimant: c, .. } if *c == claimant));
         if !already_queued {
             self.queue.push_back(Work::Remote { claimant, source, source_seq });
         }
@@ -379,10 +358,8 @@ impl OpenCubeNode {
                         self.father = None;
                         self.token_here = false;
                         out.send(m, Msg::Token { lender: Some(self.id) });
-                        let (source, seq) = self
-                            .current_claim
-                            .take()
-                            .expect("a mandate has claim bookkeeping");
+                        let (source, seq) =
+                            self.current_claim.take().expect("a mandate has claim bookkeeping");
                         self.mandator = None;
                         self.start_loan(m, source, seq, out);
                         // asking remains true until the token returns.
@@ -524,10 +501,8 @@ impl OpenCubeNode {
             Some(m) => {
                 self.token_here = false;
                 out.send(m, Msg::Token { lender: Some(self.id) });
-                let (source, seq) = self
-                    .current_claim
-                    .take()
-                    .expect("a mandate has claim bookkeeping");
+                let (source, seq) =
+                    self.current_claim.take().expect("a mandate has claim bookkeeping");
                 self.mandator = None;
                 self.start_loan(m, source, seq, out);
             }
@@ -707,11 +682,7 @@ mod tests {
     use oc_sim::{Action, SimDuration};
 
     fn cfg(n: usize) -> Config {
-        Config::without_fault_tolerance(
-            n,
-            SimDuration::from_ticks(10),
-            SimDuration::from_ticks(50),
-        )
+        Config::without_fault_tolerance(n, SimDuration::from_ticks(10), SimDuration::from_ticks(50))
     }
 
     fn deliver(node: &mut OpenCubeNode, from: u32, msg: Msg) -> Vec<Action<Msg>> {
@@ -749,12 +720,7 @@ mod tests {
         assert!(nodes[0].believes_root());
         for node in &nodes[1..] {
             assert!(!node.holds_token());
-            assert_eq!(
-                node.father(),
-                canonical_father(16, node.id()),
-                "node {}",
-                node.id()
-            );
+            assert_eq!(node.father(), canonical_father(16, node.id()), "node {}", node.id());
         }
         assert_eq!(nodes[8].power(), 3); // node 9
     }
@@ -957,6 +923,7 @@ mod tests {
             Msg::Request { claimant: NodeId::new(10), source: NodeId::new(10), source_seq: 1 },
         );
         let _ = deliver(&mut node9, 1, Msg::Token { lender: None }); // lends to 10
+
         // Queue request(8) while busy (paper §3.2: request(8) is queued at 9).
         let _ = deliver(
             &mut node9,

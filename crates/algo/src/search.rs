@@ -14,8 +14,8 @@
 
 use std::collections::BTreeSet;
 
-use oc_topology::{dist, nodes_at_distance, NodeId};
 use oc_sim::Outbox;
+use oc_topology::{dist, nodes_at_distance, NodeId};
 
 use crate::{
     message::{AnswerKind, Msg},
@@ -302,10 +302,7 @@ mod tests {
         assert_eq!(sent_tests(&actions), vec![(13, 3), (14, 3), (15, 3), (16, 3)]);
         // Phase 3 times out: ring 4 is nodes 1..8.
         let actions = timer(&mut node, TIMER_SEARCH_PHASE);
-        assert_eq!(
-            sent_tests(&actions),
-            (1..=8).map(|i| (i, 4)).collect::<Vec<_>>()
-        );
+        assert_eq!(sent_tests(&actions), (1..=8).map(|i| (i, 4)).collect::<Vec<_>>());
         assert_eq!(node.stats().nodes_tested, 1 + 2 + 4 + 8);
     }
 

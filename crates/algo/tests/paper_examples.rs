@@ -168,6 +168,7 @@ fn section_5_token_loss_at_root_is_regenerated() {
     // regenerates (Section 5, "Root", case j = s).
     let mut world = paper_world(4, true);
     world.schedule_request(SimTime::from_ticks(0), id(2)); // 1 lends to 2
+
     // Node 2 enters CS at ~20 and would exit at ~70; crash it at 40.
     world.schedule_failure(SimTime::from_ticks(40), id(2));
     // A later request must still be serveable.

@@ -21,6 +21,7 @@ fn sim_config(seed: u64) -> SimConfig {
         seed,
         record_trace: false,
         max_events: 20_000_000,
+        ..SimConfig::default()
     }
 }
 
@@ -187,6 +188,7 @@ fn hotspot_requester_migrates_toward_the_root() {
     let n = 64;
     let mut world = plain_world(n, 3);
     let hot = NodeId::new(64); // deepest canonical node
+
     // First request from cold position.
     world.schedule_request(world.now(), hot);
     assert!(world.run_to_quiescence());
@@ -209,8 +211,7 @@ fn repeated_failures_with_recovery_stay_safe() {
         let mut rng = StdRng::seed_from_u64(seed + 5);
         // Requests spread out enough that the per-failure repair usually
         // completes before the next crash — the paper's experimental shape.
-        let schedule =
-            ArrivalSchedule::uniform(&mut rng, n, 40, SimDuration::from_ticks(2_000));
+        let schedule = ArrivalSchedule::uniform(&mut rng, n, 40, SimDuration::from_ticks(2_000));
         let failures = FailurePlan::random_singles(
             &mut rng,
             n,
@@ -232,10 +233,7 @@ fn repeated_failures_with_recovery_stay_safe() {
         // the vast majority must be served.
         let served = world.metrics().cs_entries;
         let injected = world.requests_injected();
-        assert!(
-            served + 8 >= injected,
-            "seed={seed}: only {served}/{injected} requests served"
-        );
+        assert!(served + 8 >= injected, "seed={seed}: only {served}/{injected} requests served");
     }
 }
 
@@ -255,11 +253,7 @@ fn crashing_token_holder_regenerates() {
         world.schedule_request(SimTime::from_ticks(4_000), a);
         world.schedule_request(SimTime::from_ticks(8_000), b);
         assert!(world.run_to_quiescence(), "victim={victim} did not quiesce");
-        assert!(
-            world.oracle_report().is_clean(),
-            "victim={victim}: {:?}",
-            world.oracle_report()
-        );
+        assert!(world.oracle_report().is_clean(), "victim={victim}: {:?}", world.oracle_report());
         // The two survivor requests were definitely served.
         assert!(world.metrics().cs_entries >= 2, "victim={victim}");
         let holders = NodeId::all(n)
@@ -303,14 +297,9 @@ fn fuzz_mixed_scenarios() {
         let ft = rng.random_range(0..2) == 1;
         let seed = rng.random_range(0..1_000_000u64);
         let mut schedule_rng = StdRng::seed_from_u64(seed);
-        let schedule = ArrivalSchedule::uniform(
-            &mut schedule_rng,
-            n,
-            count,
-            SimDuration::from_ticks(gap),
-        );
-        let mut world =
-            if ft { ft_world(n, seed, 1_000) } else { plain_world(n, seed) };
+        let schedule =
+            ArrivalSchedule::uniform(&mut schedule_rng, n, count, SimDuration::from_ticks(gap));
+        let mut world = if ft { ft_world(n, seed, 1_000) } else { plain_world(n, seed) };
         world.schedule_workload(&schedule);
         assert!(world.run_to_quiescence(), "round {round} did not quiesce");
         assert_served_and_safe(&world);

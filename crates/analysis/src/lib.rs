@@ -12,7 +12,7 @@ pub mod complexity;
 pub mod stats;
 
 pub use complexity::{
-    alpha, average_messages_closed_form, average_messages_exact, expected_ring_probes,
-    ring_size, worst_case_messages,
+    alpha, average_messages_closed_form, average_messages_exact, expected_ring_probes, ring_size,
+    worst_case_messages,
 };
 pub use stats::{ci95_half_width, mean, Histogram, Summary};

@@ -6,8 +6,8 @@
 
 use std::collections::VecDeque;
 
-use oc_topology::NodeId;
 use oc_sim::{MessageKind, MsgKind, NodeEvent, Outbox, Protocol};
+use oc_topology::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// The coordinator's node identity.

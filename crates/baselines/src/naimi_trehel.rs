@@ -6,8 +6,8 @@
 //! `O(log n)` messages per request on average but `O(n)` in the worst
 //! case, since nothing bounds the tree's diameter.
 
-use oc_topology::NodeId;
 use oc_sim::{MessageKind, MsgKind, NodeEvent, Outbox, Protocol};
+use oc_topology::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// Naimi–Trehel's two message types.

@@ -9,8 +9,8 @@
 
 use std::collections::VecDeque;
 
-use oc_topology::{canonical_father, canonical_sons, NodeId};
 use oc_sim::{MessageKind, MsgKind, NodeEvent, Outbox, Protocol};
+use oc_topology::{canonical_father, canonical_sons, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Raymond's two message types.

@@ -8,8 +8,9 @@
 
 use oc_bench::{
     e1_worst_case, e2_average, e3_failures, e3_failures_summary, e4_average, e4_search_cost,
-    e5_comparison, e6_slack_ablation, render_figure_tree,
+    e5_comparison, e6_slack_ablation, e7_throughput, render_figure_tree,
 };
+use oc_sim::QueueBackend;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +39,9 @@ fn main() {
     if want("--e6") {
         e6(quick);
     }
+    if want("--e7") {
+        e7(quick);
+    }
 }
 
 fn figures() {
@@ -50,10 +54,7 @@ fn figures() {
 
 fn e1(quick: bool) {
     println!("== E1: worst-case messages per request (bound: log2 N + 1) ==\n");
-    println!(
-        "{:>6} {:>8} {:>10} {:>12} {:>10}",
-        "N", "bound", "measured", "w/ return", "requests"
-    );
+    println!("{:>6} {:>8} {:>10} {:>12} {:>10}", "N", "bound", "measured", "w/ return", "requests");
     let sizes: &[usize] =
         if quick { &[4, 16, 64] } else { &[4, 8, 16, 32, 64, 128, 256, 512, 1024] };
     for &n in sizes {
@@ -103,11 +104,8 @@ fn e3(quick: bool) {
         "{:>6} {:>9} {:>14} {:>12} {:>9} {:>7} {:>9} {:>9}",
         "N", "failures", "overhead/fail", "extra/fail", "searches", "regen", "served", "injected"
     );
-    let plan: &[(usize, usize)] = if quick {
-        &[(32, 30), (64, 20)]
-    } else {
-        &[(16, 100), (32, 300), (64, 200), (128, 100)]
-    };
+    let plan: &[(usize, usize)] =
+        if quick { &[(32, 30), (64, 20)] } else { &[(16, 100), (32, 300), (64, 200), (128, 100)] };
     for &(n, failures) in plan {
         let row = e3_failures(n, failures, 42);
         println!(
@@ -157,7 +155,10 @@ fn e4(quick: bool) {
     }
     println!();
     println!("-- average probes per search over ALL failure positions (paper: O(log2 N)) --");
-    println!("{:>6} {:>9} {:>12} {:>12} {:>10}", "N", "searches", "measured", "predicted", "2*log2 N");
+    println!(
+        "{:>6} {:>9} {:>12} {:>12} {:>10}",
+        "N", "searches", "measured", "predicted", "2*log2 N"
+    );
     for &n in sizes {
         let row = e4_average(n, 42);
         println!(
@@ -191,12 +192,43 @@ fn e6(quick: bool) {
     }
 }
 
+fn e7(quick: bool) {
+    println!("== E7: engine throughput at large N (events/sec, heap vs bucketed queue) ==\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>12} {:>10} {:>14}",
+        "N", "backend", "requests", "events", "messages", "wall s", "events/sec"
+    );
+    let sizes: &[usize] = if quick { &[4_096] } else { &[4_096, 65_536] };
+    for &n in sizes {
+        for backend in [QueueBackend::Heap, QueueBackend::Bucketed] {
+            let row = e7_throughput(n, 2 * n, 42, backend);
+            println!(
+                "{:>8} {:>10} {:>10} {:>12} {:>12} {:>10.3} {:>14.0}",
+                row.n,
+                format!("{:?}", row.backend).to_lowercase(),
+                row.requests,
+                row.events,
+                row.messages,
+                row.wall_secs,
+                row.events_per_sec,
+            );
+        }
+    }
+    println!();
+}
+
 fn e5(quick: bool) {
     println!("== E5: comparison (avg / worst messages per CS) ==\n");
     println!(
         "{:>6} {:>14} {:>9} {:>10} {:>10} {:>12} {:>10} {:>11}",
-        "N", "algorithm", "seq avg", "seq worst", "conc avg", "hotspot avg",
-        "burst avg", "post-burst"
+        "N",
+        "algorithm",
+        "seq avg",
+        "seq worst",
+        "conc avg",
+        "hotspot avg",
+        "burst avg",
+        "post-burst"
     );
     let sizes: &[usize] = if quick { &[16, 64] } else { &[8, 16, 32, 64, 128, 256] };
     for &n in sizes {

@@ -11,7 +11,7 @@
 use oc_algo::{Config, OpenCubeNode};
 use oc_baselines::{CentralNode, NaimiTrehelNode, RaymondNode};
 use oc_sim::{
-    ArrivalSchedule, DelayModel, Protocol, SimConfig, SimDuration, SimTime, World,
+    ArrivalSchedule, DelayModel, Protocol, QueueBackend, SimConfig, SimDuration, SimTime, World,
 };
 use oc_topology::NodeId;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -32,6 +32,7 @@ fn sim_config(seed: u64) -> SimConfig {
         seed,
         record_trace: false,
         max_events: 200_000_000,
+        ..SimConfig::default()
     }
 }
 
@@ -80,7 +81,8 @@ pub fn e1_worst_case(n: usize, rounds: u32, seed: u64) -> E1Row {
     for round in 0..rounds {
         for raw in 1..=n as u32 {
             // A scrambled order so consecutive requesters are far apart.
-            let node = NodeId::new((u64::from(raw) * 7919 + u64::from(round)) as u32 % n as u32 + 1);
+            let node =
+                NodeId::new((u64::from(raw) * 7919 + u64::from(round)) as u32 % n as u32 + 1);
             world.schedule_request(world.now(), node);
             assert!(world.run_to_quiescence(), "E1 run wedged");
             let cost = world.metrics().total_sent() - last_total;
@@ -289,8 +291,7 @@ pub fn e4_search_cost(n: usize, seed: u64) -> Vec<E4Row> {
         // Its lowest son: the node at distance 1 below it.
         let searcher = NodeId::from_zero_based(victim.zero_based() | 1);
 
-        let mut world =
-            World::new(sim_config(seed), OpenCubeNode::build_all(ft_cfg(n, 0)));
+        let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(ft_cfg(n, 0)));
         world.schedule_failure(SimTime::from_ticks(1), victim);
         world.schedule_request(SimTime::from_ticks(10), searcher);
         assert!(world.run_to_quiescence(), "E4 run wedged");
@@ -461,7 +462,11 @@ fn run_burst<P: Protocol>(nodes: Vec<P>, n: usize, seed: u64) -> (f64, u64) {
     (burst_avg, worst)
 }
 
-fn run_sequential<P: Protocol>(mut make: impl FnMut() -> Vec<P>, n: usize, seed: u64) -> (f64, u64) {
+fn run_sequential<P: Protocol>(
+    mut make: impl FnMut() -> Vec<P>,
+    n: usize,
+    seed: u64,
+) -> (f64, u64) {
     // Closed loop, measuring each request's cost to find the worst.
     let mut world = World::new(sim_config(seed), make());
     let mut rng = StdRng::seed_from_u64(seed);
@@ -501,8 +506,7 @@ pub fn e5_comparison(n: usize, seed: u64) -> Vec<E5Row> {
 
     let mut rows = Vec::new();
     for algo in Algo::all() {
-        let (seq_avg, seq_worst, conc_avg, hotspot_avg, burst_avg, post_burst_worst) = match algo
-        {
+        let (seq_avg, seq_worst, conc_avg, hotspot_avg, burst_avg, post_burst_worst) = match algo {
             Algo::OpenCube => {
                 let make = || OpenCubeNode::build_all(plain_cfg(n));
                 let (sa, sw) = run_sequential(make, n, seed);
@@ -601,6 +605,62 @@ pub fn e6_slack_ablation(n: usize, seed: u64) -> Vec<E6Row> {
 }
 
 // --------------------------------------------------------------------
+// E7 — engine throughput at large N (events/sec, heap vs bucketed queue)
+// --------------------------------------------------------------------
+
+/// One row of the E7 throughput table.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct E7Row {
+    /// System size.
+    pub n: usize,
+    /// Which event-queue backend ran the simulation.
+    pub backend: QueueBackend,
+    /// Requests injected (all served — asserted).
+    pub requests: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Protocol messages sent.
+    pub messages: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Events per wall-clock second — the engine's headline number.
+    pub events_per_sec: f64,
+}
+
+/// E7: a large-N open-cube run under concurrent uniform load, timed in
+/// wall-clock terms. This is the scale experiment behind the engine
+/// refactor: the paper's O(log² n) story only matters when the simulator
+/// itself can push big systems, so the engine is measured at n=4096 and
+/// n=65536 on both queue backends. Virtual-time results are identical
+/// across backends (the determinism tests pin that); only the wall clock
+/// may differ.
+#[must_use]
+pub fn e7_throughput(n: usize, requests: usize, seed: u64, backend: QueueBackend) -> E7Row {
+    let mut config = sim_config(seed);
+    config.queue = backend;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schedule = ArrivalSchedule::uniform(&mut rng, n, requests, SimDuration::from_ticks(25));
+    let mut world = World::new(config, OpenCubeNode::build_all(plain_cfg(n)));
+    world.schedule_workload(&schedule);
+    let start = std::time::Instant::now();
+    assert!(world.run_to_quiescence(), "E7 run wedged");
+    let wall = start.elapsed();
+    assert!(world.oracle_report().is_clean());
+    assert_eq!(world.metrics().cs_entries, world.requests_injected());
+    let events = world.metrics().events_processed;
+    let wall_secs = wall.as_secs_f64();
+    E7Row {
+        n,
+        backend,
+        requests: world.requests_injected(),
+        events,
+        messages: world.metrics().total_sent(),
+        wall_secs,
+        events_per_sec: if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 },
+    }
+}
+
+// --------------------------------------------------------------------
 // F — structural figures (2a–2d, 3): regenerated as ASCII drawings
 // --------------------------------------------------------------------
 
@@ -613,13 +673,7 @@ pub fn render_figure_tree(n: usize) -> String {
     let mut text = String::new();
     fn walk(cube: &oc_topology::OpenCube, node: NodeId, depth: usize, out: &mut String) {
         use std::fmt::Write;
-        let _ = writeln!(
-            out,
-            "{}{} (power {})",
-            "  ".repeat(depth),
-            node,
-            cube.power(node)
-        );
+        let _ = writeln!(out, "{}{} (power {})", "  ".repeat(depth), node, cube.power(node));
         for son in cube.sons(node).into_iter().rev() {
             walk(cube, son, depth + 1, out);
         }
@@ -692,6 +746,16 @@ mod tests {
             assert!(row.seq_avg >= 0.0);
             assert!(row.conc_avg > 0.0);
         }
+    }
+
+    #[test]
+    fn e7_backends_agree_on_virtual_results() {
+        let heap = e7_throughput(64, 128, 1, QueueBackend::Heap);
+        let bucketed = e7_throughput(64, 128, 1, QueueBackend::Bucketed);
+        assert_eq!(heap.requests, 128);
+        assert_eq!(heap.events, bucketed.events);
+        assert_eq!(heap.messages, bucketed.messages);
+        assert!(bucketed.events_per_sec > 0.0);
     }
 
     #[test]

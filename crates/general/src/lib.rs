@@ -35,8 +35,8 @@
 
 use std::collections::VecDeque;
 
-use oc_topology::{canonical_father, dimension, dist, NodeId};
 use oc_sim::{MessageKind, MsgKind, NodeEvent, Outbox, Protocol};
+use oc_topology::{canonical_father, dimension, dist, NodeId};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 /// The two behaviors of the general scheme.
@@ -489,7 +489,12 @@ mod tests {
         assert!(w.oracle_report().is_clean());
         // Arbitrary (random) assignment — the paper's strongest claim.
         for seed in 0..8u64 {
-            let w = run_workload(n, seed, |id| RandomRule::new(seed * 131 + u64::from(id.get())), &arrivals);
+            let w = run_workload(
+                n,
+                seed,
+                |id| RandomRule::new(seed * 131 + u64::from(id.get())),
+                &arrivals,
+            );
             assert_eq!(w.metrics().cs_entries, n as u64, "seed {seed}");
             assert!(w.oracle_report().is_clean(), "seed {seed}");
         }

@@ -46,16 +46,17 @@
 #![warn(missing_docs)]
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use oc_sim::{
+    drive, drive_recovery, ActionSink, NodeEvent, Outbox, Protocol, SimDuration, TimerRow,
+};
 use oc_topology::NodeId;
-use oc_sim::{Action, NodeEvent, Outbox, Protocol};
-use parking_lot::Mutex;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 /// Configuration of the threaded runtime.
@@ -248,10 +249,7 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
 
 /// The router: a single thread holding the delay queue for network
 /// messages, timers and CS expirations.
-fn router_main<M: Send + 'static>(
-    rx: Receiver<RouteReq<M>>,
-    mailboxes: Vec<Sender<NodeCmd<M>>>,
-) {
+fn router_main<M: Send + 'static>(rx: Receiver<RouteReq<M>>, mailboxes: Vec<Sender<NodeCmd<M>>>) {
     struct Pending<M> {
         deliver_at: Instant,
         seq: u64,
@@ -292,9 +290,8 @@ fn router_main<M: Send + 'static>(
             }
         }
         // Wait for the next deadline or new work.
-        let wait = heap
-            .peek()
-            .map(|Reverse(p)| p.deliver_at.saturating_duration_since(Instant::now()));
+        let wait =
+            heap.peek().map(|Reverse(p)| p.deliver_at.saturating_duration_since(Instant::now()));
         let received = match wait {
             Some(d) if !heap.is_empty() => match rx.recv_timeout(d) {
                 Ok(req) => Some(req),
@@ -317,13 +314,84 @@ fn router_main<M: Send + 'static>(
         };
         if let Some(req) = received {
             seq += 1;
-            heap.push(Reverse(Pending { deliver_at: req.deliver_at, seq, to: req.to, cmd: req.cmd }));
+            heap.push(Reverse(Pending {
+                deliver_at: req.deliver_at,
+                seq,
+                to: req.to,
+                cmd: req.cmd,
+            }));
         }
     }
 }
 
-/// One node's thread: drains its mailbox, runs the protocol, executes
-/// actions through the router and the monitor.
+/// Timer events travel through the router as `NodeEvent::Timer(packed)`
+/// with the arming's generation packed into the id's high bits; the node
+/// thread unpacks and checks it against its [`TimerRow`] on receipt.
+/// Protocol timer ids stay below `2^GEN_SHIFT`.
+const GEN_SHIFT: u32 = 20;
+
+/// One node's substrate effects: the runtime's [`ActionSink`], handing the
+/// engine's actions to the router thread with real-time deadlines. The
+/// deliver→step→collect-actions loop itself lives in [`oc_sim::drive`] —
+/// the same code path the simulator runs.
+struct ThreadSink<'a, M> {
+    router_tx: &'a Sender<RouteReq<M>>,
+    monitor: &'a Monitor,
+    config: &'a RuntimeConfig,
+    rng: &'a mut StdRng,
+    timers: &'a mut TimerRow,
+    next_gen: &'a mut u64,
+}
+
+impl<M: Send + 'static> ActionSink<M> for ThreadSink<'_, M> {
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.monitor.messages.fetch_add(1, Ordering::SeqCst);
+        let delay_ns = self.rng.random_range(0..=self.config.max_network_delay.as_nanos() as u64);
+        let _ = self.router_tx.send(RouteReq {
+            deliver_at: Instant::now() + Duration::from_nanos(delay_ns),
+            to,
+            cmd: NodeCmd::Event(NodeEvent::Deliver { from, msg }),
+        });
+    }
+
+    fn enter_cs(&mut self, node: NodeId) {
+        {
+            let mut occ = self.monitor.occupant.lock().expect("monitor lock poisoned");
+            if occ.is_some() {
+                self.monitor.violations.fetch_add(1, Ordering::SeqCst);
+            } else {
+                *occ = Some(node);
+            }
+        }
+        self.monitor.cs_entries.fetch_add(1, Ordering::SeqCst);
+        let _ = self.router_tx.send(RouteReq {
+            deliver_at: Instant::now() + self.config.cs_duration,
+            to: node,
+            cmd: NodeCmd::Event(NodeEvent::ExitCs),
+        });
+    }
+
+    fn set_timer(&mut self, node: NodeId, timer_id: u64, delay: SimDuration) {
+        assert!(timer_id < (1 << GEN_SHIFT), "timer id too large for packing");
+        *self.next_gen += 1;
+        self.timers.arm(timer_id, *self.next_gen);
+        let packed = timer_id | (*self.next_gen << GEN_SHIFT);
+        let real_delay =
+            self.config.tick.saturating_mul(delay.ticks().min(u64::from(u32::MAX)) as u32);
+        let _ = self.router_tx.send(RouteReq {
+            deliver_at: Instant::now() + real_delay,
+            to: node,
+            cmd: NodeCmd::Event(NodeEvent::Timer(packed)),
+        });
+    }
+
+    fn cancel_timer(&mut self, _node: NodeId, timer_id: u64) {
+        self.timers.cancel(timer_id);
+    }
+}
+
+/// One node's thread: drains its mailbox, runs the protocol through the
+/// shared engine driver, executes actions through the router and monitor.
 fn node_main<P: Protocol>(
     mut node: P,
     rx: Receiver<NodeCmd<P::Msg>>,
@@ -335,18 +403,10 @@ fn node_main<P: Protocol>(
     let mut rng = StdRng::seed_from_u64(u64::from(id.get()) * 0x9E37_79B9);
     let mut out: Outbox<P::Msg> = Outbox::new();
     let mut crashed = false;
-    // Lazy timer cancellation, like the simulator's: only the latest
-    // generation of each timer id fires.
-    let mut timer_gens: HashMap<u64, u64> = HashMap::new();
+    // Lazy timer cancellation, same engine state the simulator uses: only
+    // the latest generation of each timer id fires.
+    let mut timers = TimerRow::new();
     let mut next_gen = 0u64;
-
-    // Timer events are routed as NodeEvent::Timer(id) tagged by generation
-    // through a side map: we wrap them as (id, gen) inside the command by
-    // re-checking on receipt below. Since NodeCmd::Event carries only the
-    // protocol event, generations ride in a parallel queue keyed by
-    // arrival order per id — simplest correct encoding: the generation is
-    // packed into the timer id's high bits.
-    const GEN_SHIFT: u32 = 20; // ids stay below 2^20; generations above
 
     while let Ok(cmd) = rx.recv() {
         match cmd {
@@ -355,23 +415,27 @@ fn node_main<P: Protocol>(
                 if !crashed {
                     crashed = true;
                     if node.in_cs() {
-                        let mut occ = monitor.occupant.lock();
+                        let mut occ = monitor.occupant.lock().expect("monitor lock poisoned");
                         if *occ == Some(id) {
                             *occ = None;
                         }
                     }
                     node.on_crash();
-                    timer_gens.clear();
+                    timers.clear();
                 }
             }
             NodeCmd::Recover => {
                 if crashed {
                     crashed = false;
-                    node.on_recover(&mut out);
-                    execute(
-                        id, &mut out, &router_tx, &monitor, &config, &mut rng,
-                        &mut timer_gens, &mut next_gen, GEN_SHIFT,
-                    );
+                    let mut sink = ThreadSink {
+                        router_tx: &router_tx,
+                        monitor: &monitor,
+                        config: &config,
+                        rng: &mut rng,
+                        timers: &mut timers,
+                        next_gen: &mut next_gen,
+                    };
+                    drive_recovery(&mut node, &mut out, &mut sink);
                 }
             }
             NodeCmd::Event(ev) => {
@@ -381,15 +445,14 @@ fn node_main<P: Protocol>(
                 let ev = match ev {
                     NodeEvent::Timer(packed) => {
                         let timer_id = packed & ((1 << GEN_SHIFT) - 1);
-                        let gen = packed >> GEN_SHIFT;
-                        if timer_gens.get(&timer_id) != Some(&gen) {
+                        let generation = packed >> GEN_SHIFT;
+                        if !timers.fire(timer_id, generation) {
                             continue; // cancelled or superseded
                         }
-                        timer_gens.remove(&timer_id);
                         NodeEvent::Timer(timer_id)
                     }
                     NodeEvent::ExitCs => {
-                        let mut occ = monitor.occupant.lock();
+                        let mut occ = monitor.occupant.lock().expect("monitor lock poisoned");
                         if *occ == Some(id) {
                             *occ = None;
                         }
@@ -398,69 +461,15 @@ fn node_main<P: Protocol>(
                     }
                     other => other,
                 };
-                node.on_event(ev, &mut out);
-                execute(
-                    id, &mut out, &router_tx, &monitor, &config, &mut rng,
-                    &mut timer_gens, &mut next_gen, GEN_SHIFT,
-                );
-            }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn execute<M: Send + 'static>(
-    id: NodeId,
-    out: &mut Outbox<M>,
-    router_tx: &Sender<RouteReq<M>>,
-    monitor: &Monitor,
-    config: &RuntimeConfig,
-    rng: &mut StdRng,
-    timer_gens: &mut HashMap<u64, u64>,
-    next_gen: &mut u64,
-    gen_shift: u32,
-) {
-    for action in out.drain() {
-        match action {
-            Action::Send { to, msg } => {
-                monitor.messages.fetch_add(1, Ordering::SeqCst);
-                let delay_ns = rng.random_range(0..=config.max_network_delay.as_nanos() as u64);
-                let _ = router_tx.send(RouteReq {
-                    deliver_at: Instant::now() + Duration::from_nanos(delay_ns),
-                    to,
-                    cmd: NodeCmd::Event(NodeEvent::Deliver { from: id, msg }),
-                });
-            }
-            Action::EnterCs => {
-                {
-                    let mut occ = monitor.occupant.lock();
-                    if occ.is_some() {
-                        monitor.violations.fetch_add(1, Ordering::SeqCst);
-                    } else {
-                        *occ = Some(id);
-                    }
-                }
-                monitor.cs_entries.fetch_add(1, Ordering::SeqCst);
-                let _ = router_tx.send(RouteReq {
-                    deliver_at: Instant::now() + config.cs_duration,
-                    to: id,
-                    cmd: NodeCmd::Event(NodeEvent::ExitCs),
-                });
-            }
-            Action::SetTimer { id: timer_id, delay } => {
-                assert!(timer_id < (1 << gen_shift), "timer id too large for packing");
-                *next_gen += 1;
-                timer_gens.insert(timer_id, *next_gen);
-                let packed = timer_id | (*next_gen << gen_shift);
-                let real_delay = config.tick.saturating_mul(delay.ticks().min(u64::from(u32::MAX)) as u32);
-                let _ = router_tx.send(RouteReq {
-                    deliver_at: Instant::now() + real_delay,
-                    to: id,
-                    cmd: NodeCmd::Event(NodeEvent::Timer(packed)),
-                });
-            }
-            Action::CancelTimer { id: timer_id } => {
-                timer_gens.remove(&timer_id);
+                let mut sink = ThreadSink {
+                    router_tx: &router_tx,
+                    monitor: &monitor,
+                    config: &config,
+                    rng: &mut rng,
+                    timers: &mut timers,
+                    next_gen: &mut next_gen,
+                };
+                drive(&mut node, ev, &mut out, &mut sink);
             }
         }
     }

@@ -50,10 +50,7 @@ impl DelayModel {
 impl Default for DelayModel {
     /// A convenient default: uniform in `[1, 10]` ticks.
     fn default() -> Self {
-        DelayModel::Uniform {
-            min: SimDuration::from_ticks(1),
-            max: SimDuration::from_ticks(10),
-        }
+        DelayModel::Uniform { min: SimDuration::from_ticks(1), max: SimDuration::from_ticks(10) }
     }
 }
 

@@ -28,6 +28,7 @@ mod time;
 
 pub mod channel;
 pub mod crash;
+pub mod engine;
 pub mod metrics;
 pub mod oracle;
 pub mod protocol;
@@ -38,10 +39,12 @@ pub mod world;
 
 pub use channel::DelayModel;
 pub use crash::FailurePlan;
+pub use engine::{drive, drive_recovery, ActionSink, TimerRow, TimerTable};
 pub use metrics::{Metrics, MsgKind};
 pub use oracle::{OracleReport, Violation};
 pub use outbox::Outbox;
 pub use protocol::{Action, MessageKind, NodeEvent, Protocol};
+pub use queue::{EventQueue, QueueBackend};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};
 pub use workload::{ArrivalSchedule, Workload};

@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 /// `Request` and `Token` are the base algorithm of Section 3; the remaining
 /// kinds only appear in the fault-tolerance machinery of Section 5 and are
 /// what the paper counts as *overhead messages per failure*.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MsgKind {
     /// `request(j)` — a claim for the token travelling toward the root.
     Request,
@@ -105,11 +103,7 @@ impl Metrics {
     /// Messages of the failure-handling machinery only.
     #[must_use]
     pub fn overhead_messages(&self) -> u64 {
-        MsgKind::all()
-            .into_iter()
-            .filter(|k| k.is_failure_overhead())
-            .map(|k| self.sent(k))
-            .sum()
+        MsgKind::all().into_iter().filter(|k| k.is_failure_overhead()).map(|k| self.sent(k)).sum()
     }
 
     /// Average messages per completed critical section.

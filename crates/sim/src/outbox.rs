@@ -46,8 +46,17 @@ impl<M> Outbox<M> {
     }
 
     /// Removes and returns all recorded actions, leaving the outbox empty.
+    ///
+    /// Gives the backing buffer away; prefer [`Outbox::drain_actions`] on
+    /// hot paths, which keeps the capacity for the next event.
     pub fn drain(&mut self) -> Vec<Action<M>> {
         std::mem::take(&mut self.actions)
+    }
+
+    /// Streams out all recorded actions, retaining the buffer's capacity —
+    /// the engine's allocation-free per-event path.
+    pub fn drain_actions(&mut self) -> std::vec::Drain<'_, Action<M>> {
+        self.actions.drain(..)
     }
 
     /// The actions recorded so far.

@@ -2,43 +2,51 @@
 //!
 //! Events are ordered by `(time, sequence number)`: ties in virtual time are
 //! broken by insertion order, so a run is a pure function of the
-//! configuration and seed.
+//! configuration and seed. Two interchangeable backends honour that
+//! contract:
+//!
+//! * [`QueueBackend::Bucketed`] — the default: the engine's
+//!   [calendar queue](crate::engine::calendar), O(1) near-future
+//!   scheduling with a heap fallback for far-future events.
+//! * [`QueueBackend::Heap`] — a plain binary heap, kept as the reference
+//!   implementation; the cross-backend determinism test holds both to
+//!   byte-identical traces.
 
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use serde::{Deserialize, Serialize};
+
+use crate::engine::calendar::{CalendarQueue, Entry};
 use crate::time::SimTime;
 
-/// A time-stamped entry in the queue.
-#[derive(Debug)]
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+/// Which data structure orders the pending events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueBackend {
+    /// Binary heap over all pending events: O(log n) everywhere. The
+    /// reference backend.
+    Heap,
+    /// Bucketed calendar with heap overflow: O(1) near-future pushes. The
+    /// production default.
+    #[default]
+    Bucketed,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap behaviour in std's max-heap.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+/// Ticks covered by one calendar bucket. Sized for the workloads this
+/// repository simulates: delivery delays and CS durations are tens of
+/// ticks, so the hot traffic lands within a few buckets of the cursor.
+const DEFAULT_BUCKET_WIDTH: u64 = 64;
+
+#[derive(Debug)]
+enum Store<E> {
+    Heap(BinaryHeap<Reverse<Entry<E>>>),
+    Bucketed(CalendarQueue<E>),
 }
 
 /// A deterministic min-priority queue of simulation events.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    store: Store<E>,
     next_seq: u64,
 }
 
@@ -49,40 +57,71 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default (bucketed) backend.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// Creates an empty queue on the given backend.
+    #[must_use]
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let store = match backend {
+            QueueBackend::Heap => Store::Heap(BinaryHeap::new()),
+            QueueBackend::Bucketed => Store::Bucketed(CalendarQueue::new(DEFAULT_BUCKET_WIDTH)),
+        };
+        EventQueue { store, next_seq: 0 }
+    }
+
+    /// The backend this queue runs on.
+    #[must_use]
+    pub fn backend(&self) -> QueueBackend {
+        match self.store {
+            Store::Heap(_) => QueueBackend::Heap,
+            Store::Bucketed(_) => QueueBackend::Bucketed,
+        }
     }
 
     /// Schedules `event` at virtual time `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        match &mut self.store {
+            Store::Heap(heap) => heap.push(Reverse(Entry { at, seq, event })),
+            Store::Bucketed(calendar) => calendar.push(at, seq, event),
+        }
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        match &mut self.store {
+            Store::Heap(heap) => heap.pop().map(|Reverse(e)| (e.at, e.event)),
+            Store::Bucketed(calendar) => calendar.pop(),
+        }
     }
 
     /// The timestamp of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.store {
+            Store::Heap(heap) => heap.peek().map(|Reverse(e)| e.at),
+            Store::Bucketed(calendar) => calendar.peek_time(),
+        }
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.store {
+            Store::Heap(heap) => heap.len(),
+            Store::Bucketed(calendar) => calendar.len(),
+        }
     }
 
     /// `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drops every pending event that fails the predicate. Used when a node
@@ -90,10 +129,15 @@ impl<E> EventQueue<E> {
     ///
     /// Returns the number of dropped events.
     pub fn retain<F: FnMut(&E) -> bool>(&mut self, mut keep: F) -> usize {
-        let before = self.heap.len();
-        let entries: Vec<Entry<E>> = std::mem::take(&mut self.heap).into_vec();
-        self.heap = entries.into_iter().filter(|e| keep(&e.event)).collect();
-        before - self.heap.len()
+        match &mut self.store {
+            Store::Heap(heap) => {
+                let before = heap.len();
+                let entries = std::mem::take(heap);
+                *heap = entries.into_iter().filter(|Reverse(e)| keep(&e.event)).collect();
+                before - heap.len()
+            }
+            Store::Bucketed(calendar) => calendar.retain(keep),
+        }
     }
 }
 
@@ -101,49 +145,67 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn backends() -> [QueueBackend; 2] {
+        [QueueBackend::Heap, QueueBackend::Bucketed]
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_ticks(5), "b");
-        q.push(SimTime::from_ticks(1), "a");
-        q.push(SimTime::from_ticks(9), "c");
-        assert_eq!(q.pop().unwrap().1, "a");
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert_eq!(q.pop().unwrap().1, "c");
-        assert!(q.pop().is_none());
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(SimTime::from_ticks(5), "b");
+            q.push(SimTime::from_ticks(1), "a");
+            q.push(SimTime::from_ticks(9), "c");
+            assert_eq!(q.pop().unwrap().1, "a");
+            assert_eq!(q.pop().unwrap().1, "b");
+            assert_eq!(q.pop().unwrap().1, "c");
+            assert!(q.pop().is_none());
+        }
     }
 
     #[test]
     fn fifo_among_ties() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_ticks(3);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i);
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            let t = SimTime::from_ticks(3);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop().unwrap().1, i);
+            }
         }
     }
 
     #[test]
     fn retain_drops_matching() {
-        let mut q = EventQueue::new();
-        for i in 0..10 {
-            q.push(SimTime::from_ticks(i), i);
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..10 {
+                q.push(SimTime::from_ticks(i), i);
+            }
+            let dropped = q.retain(|e| e % 2 == 0);
+            assert_eq!(dropped, 5);
+            assert_eq!(q.len(), 5);
+            // Order is preserved after retain.
+            assert_eq!(q.pop().unwrap().1, 0);
+            assert_eq!(q.pop().unwrap().1, 2);
         }
-        let dropped = q.retain(|e| e % 2 == 0);
-        assert_eq!(dropped, 5);
-        assert_eq!(q.len(), 5);
-        // Order is preserved after retain.
-        assert_eq!(q.pop().unwrap().1, 0);
-        assert_eq!(q.pop().unwrap().1, 2);
     }
 
     #[test]
     fn peek_time() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_ticks(4), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(4)));
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_ticks(4), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_ticks(4)));
+        }
+    }
+
+    #[test]
+    fn default_backend_is_bucketed() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.backend(), QueueBackend::Bucketed);
     }
 }

@@ -5,15 +5,11 @@ use serde::{Deserialize, Serialize};
 
 /// A point in virtual time, in ticks (interpreted as microseconds by
 /// convention, but nothing in the simulator depends on the unit).
-#[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in the same ticks as [`SimTime`].
-#[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {

@@ -76,12 +76,7 @@ impl ArrivalSchedule {
     }
 
     /// `count` arrivals at uniformly random nodes, spaced `gap` apart.
-    pub fn uniform<R: Rng + ?Sized>(
-        rng: &mut R,
-        n: usize,
-        count: usize,
-        gap: SimDuration,
-    ) -> Self {
+    pub fn uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, count: usize, gap: SimDuration) -> Self {
         let mut schedule = ArrivalSchedule::new();
         let mut at = SimTime::ZERO;
         for _ in 0..count {

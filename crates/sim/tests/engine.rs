@@ -1,0 +1,113 @@
+//! Engine conformance tests: the bucketed calendar queue must be
+//! observationally identical to the reference heap backend — same pops,
+//! same `(time, seq)` order — under arbitrary interleavings of pushes,
+//! pops and crash-style retains.
+
+use oc_sim::queue::{EventQueue, QueueBackend};
+use oc_sim::SimTime;
+use proptest::prelude::*;
+
+/// One scripted queue operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at this tick (payload is the script index, so every entry is
+    /// distinguishable and FIFO ties are observable).
+    Push(u64),
+    /// Pop once from both queues and compare.
+    Pop,
+    /// Drop all payloads divisible by the modulus (like a crash destroying
+    /// in-flight messages), comparing drop counts.
+    Retain(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Near-future times: land in calendar buckets.
+        (0u64..10_000).prop_map(Op::Push),
+        // Far-future times: exercise the overflow heap and window refills.
+        (1_000_000u64..100_000_000).prop_map(Op::Push),
+        Just(Op::Pop),
+        (2u8..7).prop_map(Op::Retain),
+    ]
+}
+
+fn run_script(script: &[Op]) {
+    let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+    let mut bucketed = EventQueue::with_backend(QueueBackend::Bucketed);
+    let mut pending: Vec<(u64, usize)> = Vec::new(); // reference multiset
+
+    for (i, op) in script.iter().enumerate() {
+        match op {
+            Op::Push(t) => {
+                heap.push(SimTime::from_ticks(*t), i);
+                bucketed.push(SimTime::from_ticks(*t), i);
+                pending.push((*t, i));
+            }
+            Op::Pop => {
+                let a = heap.pop();
+                let b = bucketed.pop();
+                assert_eq!(a, b, "backends disagreed at op {i}");
+                if let Some((at, payload)) = a {
+                    // Exact (time, seq) order: the pop must be the minimum
+                    // of everything pending, with FIFO ties broken by push
+                    // order (the payload is the push's script index).
+                    let min = pending.iter().copied().min().expect("pending non-empty");
+                    assert_eq!((at.ticks(), payload), min, "wrong pop at op {i}");
+                    pending.retain(|e| *e != min);
+                }
+            }
+            Op::Retain(modulus) => {
+                let m = usize::from(*modulus);
+                let dropped_heap = heap.retain(|e| e % m != 0);
+                let dropped_bucketed = bucketed.retain(|e| e % m != 0);
+                assert_eq!(dropped_heap, dropped_bucketed, "retain disagreed at op {i}");
+                pending.retain(|(_, e)| e % m != 0);
+            }
+        }
+        assert_eq!(heap.len(), bucketed.len(), "lengths diverged at op {i}");
+        assert_eq!(heap.peek_time(), bucketed.peek_time(), "peek diverged at op {i}");
+        assert_eq!(heap.len(), pending.len(), "reference multiset diverged at op {i}");
+    }
+
+    // Drain what's left: both backends must agree to the end.
+    loop {
+        let a = heap.pop();
+        let b = bucketed.pop();
+        assert_eq!(a, b, "backends disagreed while draining");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings: the calendar queue is indistinguishable
+    /// from the heap and pops in exact `(time, seq)` order.
+    #[test]
+    fn bucketed_queue_matches_heap(script in proptest::collection::vec(op_strategy(), 0..400)) {
+        run_script(&script);
+    }
+}
+
+/// Deterministic regression script: dense ties, far-future churn, retains.
+#[test]
+fn bucketed_queue_matches_heap_dense_ties() {
+    let mut script = Vec::new();
+    for round in 0..50u64 {
+        for _ in 0..20 {
+            script.push(Op::Push(round * 3)); // heavy (time) ties
+        }
+        script.push(Op::Push(50_000_000 + round));
+        script.push(Op::Pop);
+        script.push(Op::Pop);
+        if round % 7 == 0 {
+            script.push(Op::Retain(3));
+        }
+    }
+    for _ in 0..200 {
+        script.push(Op::Pop);
+    }
+    run_script(&script);
+}

@@ -33,10 +33,7 @@ use crate::{dimension, NodeId};
 #[must_use]
 pub fn canonical_father(n: usize, id: NodeId) -> Option<NodeId> {
     let _ = dimension(n);
-    assert!(
-        (id.get() as usize) <= n,
-        "node {id} outside 1..={n}"
-    );
+    assert!((id.get() as usize) <= n, "node {id} outside 1..={n}");
     let z = id.zero_based();
     if z == 0 {
         None
@@ -96,9 +93,7 @@ pub fn canonical_power(n: usize, id: NodeId) -> u32 {
 pub fn canonical_sons(n: usize, id: NodeId) -> Vec<NodeId> {
     let power = canonical_power(n, id);
     let z = id.zero_based();
-    (0..power)
-        .map(|k| NodeId::from_zero_based(z + (1 << k)))
-        .collect()
+    (0..power).map(|k| NodeId::from_zero_based(z + (1 << k))).collect()
 }
 
 /// Recursive reference construction of the canonical father function, used
@@ -156,17 +151,15 @@ mod tests {
 
     #[test]
     fn figure_2b_four_cube() {
-        let fathers: Vec<Option<u32>> = NodeId::all(4)
-            .map(|id| canonical_father(4, id).map(NodeId::get))
-            .collect();
+        let fathers: Vec<Option<u32>> =
+            NodeId::all(4).map(|id| canonical_father(4, id).map(NodeId::get)).collect();
         assert_eq!(fathers, vec![None, Some(1), Some(1), Some(3)]);
     }
 
     #[test]
     fn figure_2c_eight_cube() {
-        let fathers: Vec<Option<u32>> = NodeId::all(8)
-            .map(|id| canonical_father(8, id).map(NodeId::get))
-            .collect();
+        let fathers: Vec<Option<u32>> =
+            NodeId::all(8).map(|id| canonical_father(8, id).map(NodeId::get)).collect();
         assert_eq!(
             fathers,
             vec![None, Some(1), Some(1), Some(3), Some(1), Some(5), Some(5), Some(7)]
@@ -175,9 +168,8 @@ mod tests {
 
     #[test]
     fn figure_2d_sixteen_cube() {
-        let fathers: Vec<Option<u32>> = NodeId::all(16)
-            .map(|id| canonical_father(16, id).map(NodeId::get))
-            .collect();
+        let fathers: Vec<Option<u32>> =
+            NodeId::all(16).map(|id| canonical_father(16, id).map(NodeId::get)).collect();
         assert_eq!(
             fathers,
             vec![

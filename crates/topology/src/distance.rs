@@ -60,9 +60,7 @@ pub fn nodes_at_distance(n: usize, from: NodeId, d: u32) -> Vec<NodeId> {
     // Nodes at distance d: indices whose bits above position d-1 agree with
     // z, bit d-1 differs, and bits below d-1 are free.
     let base = (z & !((1u32 << d) - 1)) | ((z ^ (1 << (d - 1))) & (1 << (d - 1)));
-    (0..(1u32 << (d - 1)))
-        .map(|low| NodeId::from_zero_based(base | low))
-        .collect()
+    (0..(1u32 << (d - 1))).map(|low| NodeId::from_zero_based(base | low)).collect()
 }
 
 /// Size of the distance-`d` ring: `2^(d-1)` nodes for `d ≥ 1`

@@ -57,18 +57,15 @@ impl fmt::Display for StructureError {
                 write!(f, "multiple roots: nodes {a} and {b} both have no father")
             }
             StructureError::NoRoot => write!(f, "no node has father = nil"),
-            StructureError::WrongPower { node, actual, expected } => write!(
-                f,
-                "node {node} has power {actual} but the structure requires {expected}"
-            ),
-            StructureError::BadSonPowers { node, son_powers } => write!(
-                f,
-                "node {node} has sons with powers {son_powers:?}, expected 0..power"
-            ),
-            StructureError::DistanceMismatch { son, father } => write!(
-                f,
-                "edge ({son}, {father}) violates power(son) = dist(son, father) - 1"
-            ),
+            StructureError::WrongPower { node, actual, expected } => {
+                write!(f, "node {node} has power {actual} but the structure requires {expected}")
+            }
+            StructureError::BadSonPowers { node, son_powers } => {
+                write!(f, "node {node} has sons with powers {son_powers:?}, expected 0..power")
+            }
+            StructureError::DistanceMismatch { son, father } => {
+                write!(f, "edge ({son}, {father}) violates power(son) = dist(son, father) - 1")
+            }
         }
     }
 }

@@ -122,8 +122,7 @@ mod tests {
         let mut cube = OpenCube::canonical(16);
         cube.b_transform(NodeId::new(7), NodeId::new(5)).unwrap();
         assert_eq!(group_root(&cube, NodeId::new(6), 2), NodeId::new(7));
-        let g: Vec<u32> =
-            p_group(16, NodeId::new(7), 2).into_iter().map(NodeId::get).collect();
+        let g: Vec<u32> = p_group(16, NodeId::new(7), 2).into_iter().map(NodeId::get).collect();
         assert_eq!(g, vec![5, 6, 7, 8]);
     }
 }

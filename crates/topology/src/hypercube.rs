@@ -56,10 +56,7 @@ pub fn embeds_in_hypercube(cube: &OpenCube) -> bool {
 /// host the message travels at most `dist` dimensions.
 #[must_use]
 pub fn max_edge_identity_distance(cube: &OpenCube) -> u32 {
-    cube.iter_nodes()
-        .filter_map(|i| cube.father(i).map(|f| dist(i, f)))
-        .max()
-        .unwrap_or(0)
+    cube.iter_nodes().filter_map(|i| cube.father(i).map(|f| dist(i, f))).max().unwrap_or(0)
 }
 
 #[cfg(test)]

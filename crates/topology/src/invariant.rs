@@ -82,8 +82,7 @@ pub fn verify_open_cube(fathers: &[Option<NodeId>]) -> Result<(), StructureError
     let mut shape_power: HashMap<NodeId, u32> = HashMap::new();
     for id in order {
         let my_sons = sons.get(&id).cloned().unwrap_or_default();
-        let mut powers: Vec<u32> =
-            my_sons.iter().map(|s| shape_power[s]).collect();
+        let mut powers: Vec<u32> = my_sons.iter().map(|s| shape_power[s]).collect();
         powers.sort_unstable();
         let q = powers.len() as u32;
         // An open-cube node of power q has exactly sons of powers 0..q.
@@ -182,16 +181,8 @@ mod tests {
     fn detects_bad_son_powers() {
         // Star on 4 nodes: 2,3,4 all point at 1. Node 1 would need sons of
         // powers 0,1 but has three power-0 sons.
-        let t = vec![
-            None,
-            Some(NodeId::new(1)),
-            Some(NodeId::new(1)),
-            Some(NodeId::new(1)),
-        ];
-        assert!(matches!(
-            verify_open_cube(&t),
-            Err(StructureError::BadSonPowers { .. })
-        ));
+        let t = vec![None, Some(NodeId::new(1)), Some(NodeId::new(1)), Some(NodeId::new(1))];
+        assert!(matches!(verify_open_cube(&t), Err(StructureError::BadSonPowers { .. })));
     }
 
     #[test]
@@ -200,12 +191,7 @@ mod tests {
         // would have one son of power... chain: 1 has son 2 (power: 2 has son
         // 3 which has son 4). Shape powers: 4:0, 3:1, 2:2 -> node 2 needs
         // sons of powers 0 and 1 but only has 3. So BadSonPowers fires.
-        let t = vec![
-            None,
-            Some(NodeId::new(1)),
-            Some(NodeId::new(2)),
-            Some(NodeId::new(3)),
-        ];
+        let t = vec![None, Some(NodeId::new(1)), Some(NodeId::new(2)), Some(NodeId::new(3))];
         assert!(verify_open_cube(&t).is_err());
 
         // Valid shape but wrong placement: in the 4-cube swap identities so
@@ -213,16 +199,8 @@ mod tests {
         // fathers: 1<-2? Try: 3->1, 2->3, 4->1 : node 1 sons {3(power 1),
         // 4(power 0)} shape-valid; but edge (4,1): dist(4,1)=2, power(4)=0,
         // needs dist-1=1 -> mismatch.
-        let t = vec![
-            None,
-            Some(NodeId::new(3)),
-            Some(NodeId::new(1)),
-            Some(NodeId::new(1)),
-        ];
-        assert!(matches!(
-            verify_open_cube(&t),
-            Err(StructureError::DistanceMismatch { .. })
-        ));
+        let t = vec![None, Some(NodeId::new(3)), Some(NodeId::new(1)), Some(NodeId::new(1))];
+        assert!(matches!(verify_open_cube(&t), Err(StructureError::DistanceMismatch { .. })));
     }
 
     #[test]

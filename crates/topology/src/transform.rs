@@ -19,9 +19,7 @@ use crate::{NodeId, OpenCube, TopologyError};
 /// non-leaf node.
 #[must_use]
 pub fn boundary_edges(cube: &OpenCube) -> Vec<(NodeId, NodeId)> {
-    cube.iter_nodes()
-        .filter_map(|f| cube.last_son(f).map(|s| (s, f)))
-        .collect()
+    cube.iter_nodes().filter_map(|f| cube.last_son(f).map(|s| (s, f))).collect()
 }
 
 /// The maximal *boundary prefix* of the branch from `i` to the root: the

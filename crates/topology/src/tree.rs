@@ -48,9 +48,8 @@ impl OpenCube {
     #[must_use]
     pub fn canonical(n: usize) -> Self {
         let pmax = dimension(n);
-        let fathers = (0..n as u32)
-            .map(|z| canonical_father(n, NodeId::from_zero_based(z)))
-            .collect();
+        let fathers =
+            (0..n as u32).map(|z| canonical_father(n, NodeId::from_zero_based(z))).collect();
         OpenCube { fathers, pmax }
     }
 
@@ -66,10 +65,8 @@ impl OpenCube {
         use rand::RngExt;
         let mut cube = OpenCube::canonical(n);
         for _ in 0..steps {
-            let edges: Vec<(NodeId, NodeId)> = cube
-                .iter_nodes()
-                .filter_map(|f| cube.last_son(f).map(|s| (s, f)))
-                .collect();
+            let edges: Vec<(NodeId, NodeId)> =
+                cube.iter_nodes().filter_map(|f| cube.last_son(f).map(|s| (s, f))).collect();
             if edges.is_empty() {
                 break;
             }
@@ -130,9 +127,7 @@ impl OpenCube {
     /// the checked API).
     #[must_use]
     pub fn root(&self) -> NodeId {
-        self.iter_nodes()
-            .find(|id| self.father(*id).is_none())
-            .expect("an open-cube has a root")
+        self.iter_nodes().find(|id| self.father(*id).is_none()).expect("an open-cube has a root")
     }
 
     /// Power of `id` (Definition 2.1), derived from the father pointer via

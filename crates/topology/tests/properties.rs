@@ -1,8 +1,6 @@
 //! Property-based tests of the open-cube structure theorems (Section 2).
 
-use oc_topology::{
-    branch, dist, groups, transform, NodeId, OpenCube,
-};
+use oc_topology::{branch, dist, groups, transform, NodeId, OpenCube};
 use proptest::prelude::*;
 
 /// Strategy: a cube size 2^p with p in 1..=7 and a random sequence of

@@ -7,14 +7,8 @@
 //! ```
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(64);
-    assert!(
-        opencube::topology::is_valid_size(n),
-        "n must be a power of two"
-    );
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(64);
+    assert!(opencube::topology::is_valid_size(n), "n must be a power of two");
 
     println!("comparing on n = {n} nodes (uniform, hotspot and burst workloads)\n");
     println!(

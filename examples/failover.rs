@@ -12,12 +12,8 @@ use opencube::sim::{Protocol, SimConfig, SimDuration, SimTime, World};
 use opencube::topology::NodeId;
 
 fn main() {
-    let config = Config::new(
-        16,
-        SimDuration::from_ticks(10),
-        SimDuration::from_ticks(50),
-    )
-    .with_contention_slack(SimDuration::from_ticks(500));
+    let config = Config::new(16, SimDuration::from_ticks(10), SimDuration::from_ticks(50))
+        .with_contention_slack(SimDuration::from_ticks(500));
     let mut world = World::new(
         SimConfig { record_trace: true, ..SimConfig::default() },
         OpenCubeNode::build_all(config),
@@ -45,10 +41,7 @@ fn main() {
     println!("nodes probed (test msgs)    : {}", stats.nodes_tested);
     println!("tokens regenerated          : {}", stats.tokens_regenerated);
     println!("anomaly repairs             : {}", stats.anomalies_received);
-    println!(
-        "overhead messages           : {}",
-        world.metrics().overhead_messages()
-    );
+    println!("overhead messages           : {}", world.metrics().overhead_messages());
     println!(
         "safety                      : {}",
         if world.oracle_report().is_clean() { "clean" } else { "VIOLATED" }

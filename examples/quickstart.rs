@@ -11,11 +11,7 @@ use opencube::topology::NodeId;
 
 fn main() {
     // δ = 10 ticks of network delay; critical sections last 50 ticks.
-    let config = Config::new(
-        8,
-        SimDuration::from_ticks(10),
-        SimDuration::from_ticks(50),
-    );
+    let config = Config::new(8, SimDuration::from_ticks(10), SimDuration::from_ticks(50));
     let mut world = World::new(
         SimConfig { record_trace: true, ..SimConfig::default() },
         OpenCubeNode::build_all(config),

@@ -24,10 +24,7 @@ fn main() {
     for i in 1..=n as u32 {
         rt.request_cs(NodeId::new(i));
     }
-    assert!(
-        rt.await_cs_entries(n as u64, Duration::from_secs(60)),
-        "phase 1 did not complete"
-    );
+    assert!(rt.await_cs_entries(n as u64, Duration::from_secs(60)), "phase 1 did not complete");
     println!("  -> {} critical sections served", rt.cs_entries());
 
     println!("phase 2: crash node 5, wait, recover it, keep requesting");

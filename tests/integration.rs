@@ -56,12 +56,9 @@ fn all_four_algorithms_serve_the_same_workload() {
         (w.metrics().cs_entries, w.oracle_report().is_clean())
     };
 
-    for f in [
-        &mut open_cube as &mut dyn FnMut() -> (u64, bool),
-        &mut raymond,
-        &mut naimi,
-        &mut central,
-    ] {
+    for f in
+        [&mut open_cube as &mut dyn FnMut() -> (u64, bool), &mut raymond, &mut naimi, &mut central]
+    {
         let (served, clean) = run(f);
         assert_eq!(served, count as u64);
         assert!(clean);
@@ -105,7 +102,11 @@ fn failure_storm_with_full_recovery_restores_an_open_cube() {
     let failures = FailurePlan::none()
         .crash_and_recover(NodeId::new(1), SimTime::from_ticks(100), SimTime::from_ticks(9_000))
         .crash_and_recover(NodeId::new(9), SimTime::from_ticks(20_000), SimTime::from_ticks(29_000))
-        .crash_and_recover(NodeId::new(5), SimTime::from_ticks(40_000), SimTime::from_ticks(49_000));
+        .crash_and_recover(
+            NodeId::new(5),
+            SimTime::from_ticks(40_000),
+            SimTime::from_ticks(49_000),
+        );
     world.schedule_failures(&failures);
     // Load around each failure window.
     let mut at = 200u64;
@@ -138,10 +139,7 @@ fn simulator_and_threaded_runtime_agree_on_outcomes() {
 
     let n = 8;
     // Simulator run.
-    let mut world = World::new(
-        SimConfig::default(),
-        OpenCubeNode::build_all(ft_config(n, 20_000)),
-    );
+    let mut world = World::new(SimConfig::default(), OpenCubeNode::build_all(ft_config(n, 20_000)));
     for i in 1..=n as u32 {
         world.schedule_request(SimTime::from_ticks(u64::from(i) * 10), NodeId::new(i));
     }

@@ -23,14 +23,14 @@ fn sim_config(seed: u64) -> SimConfig {
         seed,
         record_trace: false,
         max_events: 30_000_000,
+        ..SimConfig::default()
     }
 }
 
 /// Strategy: system size, request count, gap and seed.
 fn scenario() -> impl Strategy<Value = (usize, usize, u64, u64)> {
-    (1u32..=6, 1usize..60, 5u64..300, 0u64..u64::MAX).prop_map(|(p, count, gap, seed)| {
-        (1usize << p, count, gap, seed)
-    })
+    (1u32..=6, 1usize..60, 5u64..300, 0u64..u64::MAX)
+        .prop_map(|(p, count, gap, seed)| (1usize << p, count, gap, seed))
 }
 
 proptest! {

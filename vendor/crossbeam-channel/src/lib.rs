@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! The threaded runtime (`oc-runtime`) needs exactly: `unbounded()`,
+//! cloneable `Sender`, a single-consumer `Receiver` with `recv` /
+//! `recv_timeout`, and the matching error types. `std::sync::mpsc`
+//! provides all of that; this crate re-shapes its API to the
+//! crossbeam-channel names so the runtime code reads as it would against
+//! the real dependency.
+
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+/// The sending half of an unbounded channel. Cloneable across threads.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, failing only if all receivers are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Blocks up to `timeout` for a value.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+}
+
+/// Creates an unbounded MPSC channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            tx2.send(7).unwrap();
+        });
+        tx.send(3).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn disconnect_reported() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace annotates data types with `#[derive(Serialize, Deserialize)]`
+//! so they are wire-ready once the real serde is available, but no code path
+//! actually serializes through serde (the protocol codec in `oc-algo` is
+//! hand-rolled). With crates.io unreachable in this build environment, the
+//! derives are vendored as no-ops: they parse and expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

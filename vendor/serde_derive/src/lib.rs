@@ -1,0 +1,18 @@
+//! No-op derive macros backing the vendored `serde` stand-in: the
+//! annotations stay in the source as documentation of wire-readiness, and
+//! expand to nothing. The `serde` helper attribute is accepted (and
+//! ignored) so existing annotations keep compiling.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
