@@ -52,12 +52,14 @@ mod config;
 mod enquiry;
 mod message;
 mod node;
+mod ringset;
 mod search;
 mod stats;
 
 pub use config::Config;
 pub use message::{AnswerKind, EnquiryStatus, Msg};
 pub use node::OpenCubeNode;
+pub use ringset::{RingSet, RingSetIter};
 pub use stats::NodeStats;
 
 use oc_topology::NodeId;

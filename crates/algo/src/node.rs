@@ -83,6 +83,9 @@ pub struct OpenCubeNode {
     // ---- Section 5 state ----
     pub(crate) loan: Option<Loan>,
     pub(crate) search: Option<SearchState>,
+    /// Recycled search state: keeps the ring bitmask buffers of finished
+    /// searches so starting the next one allocates nothing.
+    pub(crate) search_spare: SearchState,
     /// Set when the node recovered in a mode that cannot re-join (fault
     /// tolerance disabled): it ignores all input.
     inert: bool,
@@ -117,6 +120,7 @@ impl OpenCubeNode {
             local_claim: None,
             loan: None,
             search: None,
+            search_spare: SearchState::default(),
             inert: false,
             stats: NodeStats::default(),
         }
@@ -546,7 +550,8 @@ impl OpenCubeNode {
     /// Cancels an in-progress search because the token arrived — the
     /// suspicion was ill-founded or resolved elsewhere.
     pub(crate) fn abort_search_for_token(&mut self, out: &mut Outbox<Msg>) {
-        if self.search.take().is_some() {
+        if let Some(state) = self.search.take() {
+            self.search_spare = state;
             out.cancel_timer(TIMER_SEARCH_PHASE);
         }
     }

@@ -12,31 +12,31 @@
 //! Concurrent searches are resolved by the phase comparison and the
 //! identity tie-break of Section 5 ("Concurrent suspicions of failure").
 
-use std::collections::BTreeSet;
-
 use oc_sim::Outbox;
-use oc_topology::{dist, nodes_at_distance, NodeId};
+use oc_topology::{dist, ring_iter, NodeId};
 
 use crate::{
     message::{AnswerKind, Msg},
     node::{OpenCubeNode, TIMER_SEARCH_PHASE, TIMER_TOKEN_WAIT},
+    ringset::RingSet,
 };
 
 /// In-progress `search_father` state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `pending` and `retry` are [`RingSet`] bitmasks over the phase's ring:
+/// after the sets are pointed at a ring, every probe round — including the
+/// try-later re-probe rounds — runs without allocating. The node recycles
+/// the whole `SearchState` (word buffers included) through a spare slot,
+/// so repeated searches allocate nothing once the buffers have grown to
+/// the widest ring ever probed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct SearchState {
     /// Current phase = distance of the probed ring.
     pub d: u32,
     /// Ring members probed and not yet concluded this round.
-    pub pending: BTreeSet<NodeId>,
+    pub pending: RingSet,
     /// Ring members that answered "try later" — re-probed next round.
-    pub retry: BTreeSet<NodeId>,
-}
-
-impl SearchState {
-    fn new(d: u32) -> Self {
-        SearchState { d, pending: BTreeSet::new(), retry: BTreeSet::new() }
-    }
+    pub retry: RingSet,
 }
 
 impl OpenCubeNode {
@@ -60,8 +60,19 @@ impl OpenCubeNode {
         }
         let d = start_d.clamp(1, pmax);
         self.stats_mut().searches_started += 1;
-        self.search = Some(SearchState::new(d));
+        // Reuse the spare state's ring buffers instead of allocating.
+        let mut state = std::mem::take(&mut self.search_spare);
+        state.d = d;
+        self.search = Some(state);
         self.run_search_phase(out);
+    }
+
+    /// Returns the finished search state to the spare slot so its ring
+    /// buffers are reused by the next search.
+    fn recycle_search(&mut self) {
+        if let Some(state) = self.search.take() {
+            self.search_spare = state;
+        }
     }
 
     /// Sends the `test(d)` probes of the current phase and arms the phase
@@ -71,13 +82,14 @@ impl OpenCubeNode {
         let n = self.config_inner().n;
         let timeout = self.config_inner().search_phase_timeout();
         let search = self.search.as_mut().expect("phase run requires a search");
-        let ring = nodes_at_distance(n, id, search.d);
-        search.pending = ring.iter().copied().collect();
-        search.retry.clear();
         let d = search.d;
+        search.pending.assign_ring(n, id, d);
+        search.pending.fill();
+        search.retry.assign_ring(n, id, d);
+        let probes = u64::from(search.pending.len());
         self.stats_mut().search_phases += 1;
-        self.stats_mut().nodes_tested += ring.len() as u64;
-        for member in ring {
+        self.stats_mut().nodes_tested += probes;
+        for member in ring_iter(n, id, d) {
             out.send(member, Msg::Test { d });
         }
         out.set_timer(TIMER_SEARCH_PHASE, timeout);
@@ -93,12 +105,19 @@ impl OpenCubeNode {
             return; // stale timer
         };
         if !search.retry.is_empty() {
-            // Re-probe postponed nodes at the same phase.
-            let targets: Vec<NodeId> = search.retry.iter().copied().collect();
-            search.pending = std::mem::take(&mut search.retry);
+            // Re-probe postponed nodes at the same phase: the retry set
+            // becomes the new pending set (same ring, so the buffers just
+            // swap) — no allocation, unlike the old BTreeSet drain.
+            std::mem::swap(&mut search.pending, &mut search.retry);
+            search.retry.clear();
             let d = search.d;
-            self.stats_mut().nodes_tested += targets.len() as u64;
-            for member in targets {
+            let probes = u64::from(search.pending.len());
+            // A re-probe round is a search phase too (it sends tests and
+            // waits the same 2δ); count it so phases × probes reconcile.
+            self.stats_mut().search_phases += 1;
+            self.stats_mut().nodes_tested += probes;
+            let search = self.search.as_ref().expect("search still running");
+            for member in search.pending.iter() {
                 out.send(member, Msg::Test { d });
             }
             out.set_timer(TIMER_SEARCH_PHASE, timeout);
@@ -109,7 +128,7 @@ impl OpenCubeNode {
             self.run_search_phase(out);
         } else {
             // Phase pmax failed: nobody can be our father — become the root.
-            self.search = None;
+            self.recycle_search();
             self.conclude_search_as_root(out);
         }
     }
@@ -117,7 +136,7 @@ impl OpenCubeNode {
     /// Concludes the search with `father := k` and regenerates the pending
     /// request, if any.
     pub(crate) fn conclude_search_with_father(&mut self, k: NodeId, out: &mut Outbox<Msg>) {
-        self.search = None;
+        self.recycle_search();
         out.cancel_timer(TIMER_SEARCH_PHASE);
         self.set_father(Some(k));
         if self.mandator_inner().is_some() {
@@ -230,7 +249,7 @@ impl OpenCubeNode {
                 self.conclude_search_with_father(from, out);
             }
             AnswerKind::TryLater => {
-                if search.d == d && search.pending.remove(&from) {
+                if search.d == d && search.pending.remove(from) {
                     search.retry.insert(from);
                 }
             }
@@ -324,6 +343,27 @@ mod tests {
             .collect();
         assert_eq!(resent, vec![(1, 10)]);
         assert_eq!(node.stats().requests_regenerated, 1);
+    }
+
+    #[test]
+    fn reprobe_rounds_count_as_search_phases() {
+        let mut node = searching_node_10();
+        assert_eq!(node.stats().search_phases, 1);
+        assert_eq!(node.stats().nodes_tested, 1);
+        // Node 9 postpones us; recording the postponement is not a phase.
+        let _ = deliver(&mut node, 9, Msg::Answer { kind: AnswerKind::TryLater, d: 1 });
+        assert_eq!(node.stats().search_phases, 1);
+        // The timer fires and re-probes node 9 at the same distance: that
+        // re-probe round sends tests and waits a fresh 2δ, so it counts as
+        // a phase — phases and probes stay reconcilable.
+        let actions = timer(&mut node, TIMER_SEARCH_PHASE);
+        assert_eq!(sent_tests(&actions), vec![(9, 1)]);
+        assert_eq!(node.stats().search_phases, 2, "re-probe rounds are phases");
+        assert_eq!(node.stats().nodes_tested, 2);
+        // A silent round then advances to ring 2: one more phase.
+        let _ = timer(&mut node, TIMER_SEARCH_PHASE);
+        assert_eq!(node.stats().search_phases, 3);
+        assert_eq!(node.search.as_ref().unwrap().d, 2);
     }
 
     #[test]

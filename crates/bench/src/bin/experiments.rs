@@ -1,47 +1,180 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, sharding
+//! the experiment cells across worker threads and (optionally) emitting
+//! machine-readable `BENCH_E*.json` artifacts.
 //!
 //! ```text
-//! cargo run --release -p oc-bench --bin experiments            # everything
-//! cargo run --release -p oc-bench --bin experiments -- --e3    # one table
-//! cargo run --release -p oc-bench --bin experiments -- --quick # small sizes
+//! cargo run --release -p oc-bench --bin experiments                 # everything
+//! cargo run --release -p oc-bench --bin experiments -- --e3        # one table
+//! cargo run --release -p oc-bench --bin experiments -- --quick    # small sizes
+//! cargo run --release -p oc-bench --bin experiments -- --threads 4 # worker threads
+//! cargo run --release -p oc-bench --bin experiments -- --json     # BENCH_E*.json
 //! ```
+//!
+//! `--threads N` sets the sweep worker count (default: all cores; results
+//! are byte-identical at any thread count). `--json` writes one
+//! `BENCH_E<k>.json` per selected experiment into the current directory —
+//! the perf-trajectory artifacts CI and EXPERIMENTS.md track. `--seed S`
+//! changes the master seed every cell seed derives from. Unknown flags are
+//! rejected with a usage message.
 
 use oc_bench::{
-    e1_worst_case, e2_average, e3_failures, e3_failures_summary, e4_average, e4_search_cost,
-    e5_comparison, e6_slack_ablation, e7_throughput, render_figure_tree,
+    bench_artifact, e1_sweep, e2_sweep, e3_cells, e3_summaries, e3_sweep, e4_average_sweep,
+    e4_sweep, e5_sweep, e6_sweep, e7_cells, e7_sweep, json, render_figure_tree,
+    sweep::SweepOutcome, E1Row, E2Row, E3Row, E3Summary, E4Average, E4Row, E5Row, E6Row, E7Row,
 };
-use oc_sim::QueueBackend;
+
+const USAGE: &str = "\
+Usage: experiments [FLAGS]
+
+Regenerates the paper's evaluation tables (E1-E7 and the figures).
+With no selection flags, everything runs.
+
+Selection:
+  --figures     canonical open-cube drawings (Figures 2a-2d)
+  --e1 .. --e7  one experiment's table
+
+Execution:
+  --quick       small sizes (CI-friendly)
+  --threads N   sweep worker threads (default: all cores; any N gives
+                byte-identical virtual-time results). E7's timing sweep
+                stays on 1 thread unless --threads is given, so its
+                wall-clock columns aren't skewed by sibling-cell
+                contention.
+  --seed S      master seed the per-cell seeds derive from (default: 42)
+  --json        also write BENCH_E<k>.json per selected experiment
+  --help        this message
+";
+
+/// Parsed command line.
+struct Options {
+    quick: bool,
+    json: bool,
+    threads: usize,
+    /// `--threads` was given explicitly (E7 only shards its timing sweep
+    /// when the user asked for it; see `e7`).
+    threads_explicit: bool,
+    master_seed: u64,
+    selected: Vec<&'static str>,
+}
+
+const SELECTABLE: [&str; 8] = ["figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7"];
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut options = Options {
+        quick: false,
+        json: false,
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        threads_explicit: false,
+        master_seed: 42,
+        selected: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((flag, value)) => (flag, Some(value.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut take_value = |what: &str| -> String {
+            inline_value.clone().or_else(|| iter.next().cloned()).unwrap_or_else(|| {
+                usage_error(&format!("{flag} requires a value ({what})"));
+            })
+        };
+        match flag {
+            "--threads" => {
+                let value = take_value("a positive integer");
+                options.threads = value.parse().ok().filter(|&t| t > 0).unwrap_or_else(|| {
+                    usage_error(&format!("invalid --threads value: {value:?}"));
+                });
+                options.threads_explicit = true;
+                continue;
+            }
+            "--seed" => {
+                let value = take_value("an unsigned integer");
+                options.master_seed = value.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("invalid --seed value: {value:?}"));
+                });
+                continue;
+            }
+            _ => {}
+        }
+        // Every remaining flag is valueless: an inline `=value` (say
+        // `--quick=false`) must be rejected, not silently discarded.
+        if inline_value.is_some() {
+            usage_error(&format!("{flag} does not take a value (got {arg:?})"));
+        }
+        match flag {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--quick" => options.quick = true,
+            "--json" => options.json = true,
+            _ => match SELECTABLE.iter().find(|name| flag == format!("--{name}")) {
+                Some(name) => options.selected.push(name),
+                None => usage_error(&format!("unknown flag: {arg:?}")),
+            },
+        }
+    }
+    if options.selected.is_empty() {
+        options.selected = SELECTABLE.to_vec();
+    }
+    options
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let all = args.iter().all(|a| a == "--quick");
-    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let options = parse_options(&args);
+    for name in &options.selected {
+        match *name {
+            "figures" => figures(),
+            "e1" => e1(&options),
+            "e2" => e2(&options),
+            "e3" => e3(&options),
+            "e4" => e4(&options),
+            "e5" => e5(&options),
+            "e6" => e6(&options),
+            "e7" => e7(&options),
+            _ => unreachable!("parse_options only admits SELECTABLE names"),
+        }
+    }
+}
 
-    if want("--figures") {
-        figures();
+/// Prints the sweep's execution footer and writes the JSON artifact when
+/// requested.
+fn finish<T>(
+    options: &Options,
+    experiment: &'static str,
+    outcome: &SweepOutcome<T>,
+    rows: Vec<json::Value>,
+    extra: Vec<(&'static str, json::Value)>,
+) {
+    println!(
+        "   [{} cells on {} thread(s): {:.2}s wall, {:.2}s busy, speedup {:.2}x]",
+        outcome.results.len(),
+        outcome.threads,
+        outcome.wall_secs,
+        outcome.busy_secs,
+        outcome.speedup(),
+    );
+    if options.json {
+        let doc =
+            bench_artifact(experiment, options.master_seed, options.quick, outcome, rows, extra);
+        let path_name = format!("BENCH_{}.json", experiment.to_uppercase());
+        let path = std::path::Path::new(&path_name);
+        match doc.write_file(path) {
+            Ok(()) => println!("   wrote {path_name}"),
+            Err(err) => {
+                eprintln!("error: could not write {path_name}: {err}");
+                std::process::exit(1);
+            }
+        }
     }
-    if want("--e1") {
-        e1(quick);
-    }
-    if want("--e2") {
-        e2(quick);
-    }
-    if want("--e3") {
-        e3(quick);
-    }
-    if want("--e4") {
-        e4(quick);
-    }
-    if want("--e5") {
-        e5(quick);
-    }
-    if want("--e6") {
-        e6(quick);
-    }
-    if want("--e7") {
-        e7(quick);
-    }
+    println!();
 }
 
 fn figures() {
@@ -52,13 +185,13 @@ fn figures() {
     }
 }
 
-fn e1(quick: bool) {
+fn e1(options: &Options) {
     println!("== E1: worst-case messages per request (bound: log2 N + 1) ==\n");
     println!("{:>6} {:>8} {:>10} {:>12} {:>10}", "N", "bound", "measured", "w/ return", "requests");
     let sizes: &[usize] =
-        if quick { &[4, 16, 64] } else { &[4, 8, 16, 32, 64, 128, 256, 512, 1024] };
-    for &n in sizes {
-        let row = e1_worst_case(n, 3, 42);
+        if options.quick { &[4, 16, 64] } else { &[4, 8, 16, 32, 64, 128, 256, 512, 1024] };
+    let outcome = e1_sweep(sizes, 3, options.master_seed, options.threads);
+    for row in &outcome.results {
         println!(
             "{:>6} {:>8} {:>10} {:>12} {:>10}   {}",
             row.n,
@@ -69,19 +202,20 @@ fn e1(quick: bool) {
             if row.measured_worst <= row.bound { "ok" } else { "VIOLATED" },
         );
     }
-    println!();
+    let rows = outcome.results.iter().map(E1Row::to_json).collect();
+    finish(options, "e1", &outcome, rows, Vec::new());
 }
 
-fn e2(quick: bool) {
+fn e2(options: &Options) {
     println!("== E2: average messages per request vs the α_p recurrence ==\n");
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "N", "measured", "alpha_p", "avg", "3/4·p+5/4", "evolving"
     );
     let sizes: &[usize] =
-        if quick { &[4, 16, 64] } else { &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] };
-    for &n in sizes {
-        let row = e2_average(n, 42);
+        if options.quick { &[4, 16, 64] } else { &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] };
+    let outcome = e2_sweep(sizes, options.master_seed, options.threads);
+    for row in &outcome.results {
         println!(
             "{:>6} {:>10} {:>10} {:>10.3} {:>12.3} {:>12.3}   {}",
             row.n,
@@ -93,25 +227,40 @@ fn e2(quick: bool) {
             if row.measured_total == row.alpha { "exact" } else { "MISMATCH" },
         );
     }
-    println!();
+    let rows = outcome.results.iter().map(E2Row::to_json).collect();
+    finish(options, "e2", &outcome, rows, Vec::new());
 }
 
-fn e3(quick: bool) {
+fn e3(options: &Options) {
     println!(
         "== E3: overhead messages per failure (paper: 8 at N=32/300f, 9.75 at N=64/200f) ==\n"
     );
+    let plan: &[(usize, usize)] = if options.quick {
+        &[(32, 30), (64, 20)]
+    } else {
+        &[(16, 100), (32, 300), (64, 200), (128, 100)]
+    };
+    let seeds = 5;
+    let cells = e3_cells(plan, seeds);
+    let outcome = e3_sweep(&cells, options.master_seed, options.threads);
     println!(
-        "{:>6} {:>9} {:>14} {:>12} {:>9} {:>7} {:>9} {:>9}",
-        "N", "failures", "overhead/fail", "extra/fail", "searches", "regen", "served", "injected"
+        "{:>6} {:>9} {:>6} {:>14} {:>12} {:>9} {:>7} {:>9} {:>9}",
+        "N",
+        "failures",
+        "rep",
+        "overhead/fail",
+        "extra/fail",
+        "searches",
+        "regen",
+        "served",
+        "injected"
     );
-    let plan: &[(usize, usize)] =
-        if quick { &[(32, 30), (64, 20)] } else { &[(16, 100), (32, 300), (64, 200), (128, 100)] };
-    for &(n, failures) in plan {
-        let row = e3_failures(n, failures, 42);
+    for (cell, row) in cells.iter().zip(&outcome.results) {
         println!(
-            "{:>6} {:>9} {:>14.2} {:>12.2} {:>9} {:>7} {:>9} {:>9}",
+            "{:>6} {:>9} {:>6} {:>14.2} {:>12.2} {:>9} {:>7} {:>9} {:>9}",
             row.n,
             row.failures,
+            cell.seed_index,
             row.overhead_per_failure,
             row.extra_per_failure,
             row.searches,
@@ -120,38 +269,38 @@ fn e3(quick: bool) {
             row.injected,
         );
     }
-    println!();
-    // Multi-seed variability of the headline numbers.
-    println!("-- overhead/failure across 5 independent seeds (mean ± 95% CI) --");
-    for &(n, failures) in plan {
-        let s = e3_failures_summary(n, failures, &[42, 43, 44, 45, 46]);
+    println!("\n-- overhead/failure across {seeds} independent seeds (mean ± 95% CI) --");
+    let summaries = e3_summaries(&cells, &outcome.results);
+    for s in &summaries {
         println!(
             "{:>6} {:>9}   {:.2} ± {:.2}   (min {:.2}, max {:.2})",
-            n, failures, s.mean, s.ci95, s.min, s.max
+            s.n, s.failures, s.overhead.mean, s.overhead.ci95, s.overhead.min, s.overhead.max
         );
     }
-    println!();
+    let rows = outcome.results.iter().map(E3Row::to_json).collect();
+    let extra =
+        vec![("summaries", json::Value::Arr(summaries.iter().map(E3Summary::to_json).collect()))];
+    finish(options, "e3", &outcome, rows, extra);
 }
 
-fn e4(quick: bool) {
+fn e4(options: &Options) {
     println!("== E4: search_father probe counts (ring d holds 2^(d-1) nodes) ==\n");
     println!(
         "{:>6} {:>13} {:>12} {:>10} {:>10} {:>6}",
         "N", "victim power", "predicted", "measured", "regen", "match"
     );
-    let sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256, 1024] };
-    for &n in sizes {
-        for row in e4_search_cost(n, 42) {
-            println!(
-                "{:>6} {:>13} {:>12} {:>10} {:>10} {:>6}",
-                row.n,
-                row.victim_power,
-                row.predicted_probes,
-                row.measured_probes,
-                row.regenerated,
-                if row.predicted_probes == row.measured_probes { "ok" } else { "DIFF" },
-            );
-        }
+    let sizes: &[usize] = if options.quick { &[16, 64] } else { &[16, 64, 256, 1024] };
+    let outcome = e4_sweep(sizes, options.master_seed, options.threads);
+    for row in &outcome.results {
+        println!(
+            "{:>6} {:>13} {:>12} {:>10} {:>10} {:>6}",
+            row.n,
+            row.victim_power,
+            row.predicted_probes,
+            row.measured_probes,
+            row.regenerated,
+            if row.predicted_probes == row.measured_probes { "ok" } else { "DIFF" },
+        );
     }
     println!();
     println!("-- average probes per search over ALL failure positions (paper: O(log2 N)) --");
@@ -159,65 +308,23 @@ fn e4(quick: bool) {
         "{:>6} {:>9} {:>12} {:>12} {:>10}",
         "N", "searches", "measured", "predicted", "2*log2 N"
     );
-    for &n in sizes {
-        let row = e4_average(n, 42);
+    let averages = e4_average_sweep(sizes, options.master_seed, options.threads);
+    for row in &averages.results {
         println!(
             "{:>6} {:>9} {:>12.2} {:>12.2} {:>10.1}",
             row.n, row.searches, row.measured_mean, row.predicted_mean, row.two_log_n
         );
     }
-    println!();
+    let rows = outcome.results.iter().map(E4Row::to_json).collect();
+    let extra = vec![
+        ("averages", json::Value::Arr(averages.results.iter().map(E4Average::to_json).collect())),
+        ("averages_wall_secs", json::Value::Num(averages.wall_secs)),
+        ("averages_busy_secs", json::Value::Num(averages.busy_secs)),
+    ];
+    finish(options, "e4", &outcome, rows, extra);
 }
 
-fn e6(quick: bool) {
-    println!("== E6 (ablation): suspicion-slack sensitivity (no failures injected) ==\n");
-    println!(
-        "{:>6} {:>8} {:>10} {:>13} {:>10} {:>8}",
-        "N", "slack", "spurious", "wasted probes", "msgs/CS", "served"
-    );
-    let sizes: &[usize] = if quick { &[16] } else { &[16, 64] };
-    for &n in sizes {
-        for row in e6_slack_ablation(n, 42) {
-            println!(
-                "{:>6} {:>8} {:>10} {:>13} {:>10.2} {:>8}",
-                row.n,
-                row.slack,
-                row.spurious_searches,
-                row.wasted_probes,
-                row.msgs_per_cs,
-                if row.all_served { "all" } else { "LOST" },
-            );
-        }
-        println!();
-    }
-}
-
-fn e7(quick: bool) {
-    println!("== E7: engine throughput at large N (events/sec, heap vs bucketed queue) ==\n");
-    println!(
-        "{:>8} {:>10} {:>10} {:>12} {:>12} {:>10} {:>14}",
-        "N", "backend", "requests", "events", "messages", "wall s", "events/sec"
-    );
-    let sizes: &[usize] = if quick { &[4_096] } else { &[4_096, 65_536] };
-    for &n in sizes {
-        for backend in [QueueBackend::Heap, QueueBackend::Bucketed] {
-            let row = e7_throughput(n, 2 * n, 42, backend);
-            println!(
-                "{:>8} {:>10} {:>10} {:>12} {:>12} {:>10.3} {:>14.0}",
-                row.n,
-                format!("{:?}", row.backend).to_lowercase(),
-                row.requests,
-                row.events,
-                row.messages,
-                row.wall_secs,
-                row.events_per_sec,
-            );
-        }
-    }
-    println!();
-}
-
-fn e5(quick: bool) {
+fn e5(options: &Options) {
     println!("== E5: comparison (avg / worst messages per CS) ==\n");
     println!(
         "{:>6} {:>14} {:>9} {:>10} {:>10} {:>12} {:>10} {:>11}",
@@ -230,21 +337,95 @@ fn e5(quick: bool) {
         "burst avg",
         "post-burst"
     );
-    let sizes: &[usize] = if quick { &[16, 64] } else { &[8, 16, 32, 64, 128, 256] };
-    for &n in sizes {
-        for row in e5_comparison(n, 42) {
-            println!(
-                "{:>6} {:>14} {:>9.2} {:>10} {:>10.2} {:>12.2} {:>10.2} {:>11}",
-                row.n,
-                row.algo.name(),
-                row.seq_avg,
-                row.seq_worst,
-                row.conc_avg,
-                row.hotspot_avg,
-                row.burst_avg,
-                row.post_burst_worst,
-            );
+    let sizes: &[usize] = if options.quick { &[16, 64] } else { &[8, 16, 32, 64, 128, 256] };
+    let outcome = e5_sweep(sizes, options.master_seed, options.threads);
+    let mut current_n = 0usize;
+    for row in &outcome.results {
+        if current_n != 0 && row.n != current_n {
+            println!();
         }
-        println!();
+        current_n = row.n;
+        println!(
+            "{:>6} {:>14} {:>9.2} {:>10} {:>10.2} {:>12.2} {:>10.2} {:>11}",
+            row.n,
+            row.algo.name(),
+            row.seq_avg,
+            row.seq_worst,
+            row.conc_avg,
+            row.hotspot_avg,
+            row.burst_avg,
+            row.post_burst_worst,
+        );
     }
+    let rows = outcome.results.iter().map(E5Row::to_json).collect();
+    finish(options, "e5", &outcome, rows, Vec::new());
+}
+
+fn e6(options: &Options) {
+    println!("== E6 (ablation): suspicion-slack sensitivity (no failures injected) ==\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>13} {:>10} {:>8}",
+        "N", "slack", "spurious", "wasted probes", "msgs/CS", "served"
+    );
+    let sizes: &[usize] = if options.quick { &[16] } else { &[16, 64] };
+    let outcome = e6_sweep(sizes, options.master_seed, options.threads);
+    let mut current_n = 0usize;
+    for row in &outcome.results {
+        if current_n != 0 && row.n != current_n {
+            println!();
+        }
+        current_n = row.n;
+        println!(
+            "{:>6} {:>8} {:>10} {:>13} {:>10.2} {:>8}",
+            row.n,
+            row.slack,
+            row.spurious_searches,
+            row.wasted_probes,
+            row.msgs_per_cs,
+            if row.all_served { "all" } else { "LOST" },
+        );
+    }
+    let rows = outcome.results.iter().map(E6Row::to_json).collect();
+    finish(options, "e6", &outcome, rows, Vec::new());
+}
+
+fn e7(options: &Options) {
+    println!("== E7: engine throughput scaling (events/sec, heap vs bucketed queue) ==\n");
+    println!(
+        "{:>9} {:>10} {:>5} {:>10} {:>12} {:>12} {:>10} {:>10} {:>14}",
+        "N", "backend", "rep", "requests", "events", "messages", "msgs/req", "wall s", "events/sec"
+    );
+    // (n, requests, independent seeds): the scaling ladder tops out at
+    // n = 2^20 — the "production scale" target of the ROADMAP.
+    let plan: &[(usize, usize, usize)] = if options.quick {
+        &[(4_096, 8_192, 2)]
+    } else {
+        &[(4_096, 8_192, 2), (65_536, 131_072, 2), (1_048_576, 1_048_576, 1)]
+    };
+    let cells = e7_cells(plan, options.master_seed);
+    // E7's wall-clock columns are the artifact of record: concurrent
+    // sibling cells would contend for memory bandwidth and skew them, so
+    // the timing sweep stays serial unless the user explicitly shards it.
+    let threads = if options.threads_explicit { options.threads } else { 1 };
+    if !options.threads_explicit && options.threads > 1 {
+        println!("   (timing sweep pinned to 1 thread; pass --threads to shard and");
+        println!("    accept contention in the wall-clock columns)");
+    }
+    let outcome = e7_sweep(&cells, threads);
+    for (cell, row) in cells.iter().zip(&outcome.results) {
+        println!(
+            "{:>9} {:>10} {:>5} {:>10} {:>12} {:>12} {:>10.2} {:>10.3} {:>14.0}",
+            row.n,
+            format!("{:?}", row.backend).to_lowercase(),
+            cell.seed_index,
+            row.requests,
+            row.events,
+            row.messages,
+            row.messages as f64 / row.requests as f64,
+            row.wall_secs,
+            row.events_per_sec,
+        );
+    }
+    let rows = outcome.results.iter().map(E7Row::to_json).collect();
+    finish(options, "e7", &outcome, rows, Vec::new());
 }

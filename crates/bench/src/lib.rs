@@ -4,9 +4,21 @@
 //! DESIGN.md's experiment index). The `experiments` binary prints them as
 //! tables; the criterion benches under `benches/` time reduced versions;
 //! EXPERIMENTS.md records paper-vs-measured.
+//!
+//! Experiments execute through the [`sweep`] module: every `(config, n,
+//! seed)` combination is an independent cell, cells run across scoped
+//! worker threads, per-cell seeds derive deterministically from a master
+//! seed, and results aggregate in cell order — so the virtual-time data
+//! (every table column and JSON `rows`/`summaries` field except the
+//! inherently wall-clock ones: `wall_secs`, `busy_secs`,
+//! `parallel_speedup`, `threads`, and E7's timing columns) is
+//! byte-identical at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod sweep;
 
 use oc_algo::{Config, OpenCubeNode};
 use oc_baselines::{CentralNode, NaimiTrehelNode, RaymondNode};
@@ -16,6 +28,9 @@ use oc_sim::{
 use oc_topology::NodeId;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use serde::Serialize;
+
+use json::Value;
+use sweep::{derive_seed, stream_id, SweepOutcome};
 
 /// Simulation tick constants shared by all experiments.
 pub const DELTA: u64 = 10;
@@ -130,14 +145,17 @@ pub struct E2Row {
 #[must_use]
 pub fn e2_average(n: usize, seed: u64) -> E2Row {
     // (a) Exactly the analysis's setting: each node's request measured
-    // from a fresh canonical configuration.
-    let mut measured_total = 0u64;
+    // from a fresh canonical configuration; the per-world counters reduce
+    // into one aggregate via `Metrics::merge`.
+    let mut canonical = oc_sim::Metrics::new();
     for raw in 1..=n as u32 {
         let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(plain_cfg(n)));
         world.schedule_request(SimTime::ZERO, NodeId::new(raw));
         assert!(world.run_to_quiescence());
-        measured_total += world.metrics().total_sent();
+        canonical.merge(world.metrics());
     }
+    assert_eq!(canonical.cs_entries, n as u64, "every canonical request must be served");
+    let measured_total = canonical.total_sent();
     // (b) The evolving-tree variant: one long-lived world, every node
     // requests once in a random order, sequentially.
     let mut rng = StdRng::seed_from_u64(seed);
@@ -273,48 +291,52 @@ pub struct E4Row {
     pub regenerated: u64,
 }
 
+/// E4 cell: crash the canonical node of one power and let its lowest son
+/// search; count `test` probes — the sweep's unit of work.
+#[must_use]
+pub fn e4_cell(n: usize, victim_power: u32, seed: u64) -> E4Row {
+    let pmax = oc_topology::dimension(n);
+    // The canonical node of power q: zero-based 2^q... except the root
+    // (power pmax) which is node 1.
+    let victim = if victim_power == pmax {
+        NodeId::new(1)
+    } else {
+        NodeId::from_zero_based(1 << victim_power)
+    };
+    // Its lowest son: the node at distance 1 below it.
+    let searcher = NodeId::from_zero_based(victim.zero_based() | 1);
+
+    let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(ft_cfg(n, 0)));
+    world.schedule_failure(SimTime::from_ticks(1), victim);
+    world.schedule_request(SimTime::from_ticks(10), searcher);
+    assert!(world.run_to_quiescence(), "E4 run wedged");
+    assert!(world.oracle_report().is_clean());
+
+    let stats = oc_algo::aggregate_stats(&world);
+    // The searcher starts at phase 1 (power 0). A qualified father
+    // (power >= d) first exists at the ring holding the victim's own
+    // father — i.e. at distance victim_power + 1 — except when the
+    // victim was the root: then no ring qualifies and the search runs
+    // to pmax, probing everyone.
+    let end = if victim_power == pmax { pmax } else { victim_power + 1 };
+    let predicted = oc_analysis::expected_ring_probes(1, end);
+    E4Row {
+        n,
+        victim_power,
+        start_phase: 1,
+        predicted_probes: predicted,
+        measured_probes: stats.nodes_tested,
+        regenerated: stats.tokens_regenerated,
+    }
+}
+
 /// E4: crash a node of each power and let its lowest son search; count
 /// `test` probes. The searcher's phases walk rings `1, 2, …` until one
 /// holds a node of sufficient power — the locality property in action.
 #[must_use]
 pub fn e4_search_cost(n: usize, seed: u64) -> Vec<E4Row> {
     let pmax = oc_topology::dimension(n);
-    let mut rows = Vec::new();
-    for victim_power in 1..=pmax {
-        // The canonical node of power q: zero-based 2^q... except the root
-        // (power pmax) which is node 1.
-        let victim = if victim_power == pmax {
-            NodeId::new(1)
-        } else {
-            NodeId::from_zero_based(1 << victim_power)
-        };
-        // Its lowest son: the node at distance 1 below it.
-        let searcher = NodeId::from_zero_based(victim.zero_based() | 1);
-
-        let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(ft_cfg(n, 0)));
-        world.schedule_failure(SimTime::from_ticks(1), victim);
-        world.schedule_request(SimTime::from_ticks(10), searcher);
-        assert!(world.run_to_quiescence(), "E4 run wedged");
-        assert!(world.oracle_report().is_clean());
-
-        let stats = oc_algo::aggregate_stats(&world);
-        // The searcher starts at phase 1 (power 0). A qualified father
-        // (power >= d) first exists at the ring holding the victim's own
-        // father — i.e. at distance victim_power + 1 — except when the
-        // victim was the root: then no ring qualifies and the search runs
-        // to pmax, probing everyone.
-        let end = if victim_power == pmax { pmax } else { victim_power + 1 };
-        let predicted = oc_analysis::expected_ring_probes(1, end);
-        rows.push(E4Row {
-            n,
-            victim_power,
-            start_phase: 1,
-            predicted_probes: predicted,
-            measured_probes: stats.nodes_tested,
-            regenerated: stats.tokens_regenerated,
-        });
-    }
-    rows
+    (1..=pmax).map(|victim_power| e4_cell(n, victim_power, seed)).collect()
 }
 
 /// The average-search-cost measurement behind the paper's "O(log2 N) in
@@ -335,36 +357,48 @@ pub struct E4Average {
     pub two_log_n: f64,
 }
 
+/// One E4b measurement: the victim `raw` fails, its lowest son searches.
+/// Returns `(measured probes, predicted probes)`, or `None` when the
+/// victim is a leaf (nobody's father, so its failure triggers no search).
+#[must_use]
+pub fn e4_victim_probes(n: usize, raw: u32, seed: u64) -> Option<(f64, f64)> {
+    use oc_topology::canonical_power;
+    let pmax = oc_topology::dimension(n);
+    let victim = NodeId::new(raw);
+    let q = canonical_power(n, victim);
+    if q == 0 {
+        return None; // leaf: nobody's father, no search on its failure
+    }
+    let searcher = NodeId::from_zero_based(victim.zero_based() | 1);
+    let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(ft_cfg(n, 0)));
+    world.schedule_failure(SimTime::from_ticks(1), victim);
+    world.schedule_request(SimTime::from_ticks(10), searcher);
+    assert!(world.run_to_quiescence(), "E4b run wedged");
+    let stats = oc_algo::aggregate_stats(&world);
+    let end = if q == pmax { pmax } else { q + 1 };
+    Some((stats.nodes_tested as f64, oc_analysis::expected_ring_probes(1, end) as f64))
+}
+
+/// Folds per-victim probe samples into the E4b average row.
+#[must_use]
+pub fn e4_average_of(n: usize, samples: &[(f64, f64)]) -> E4Average {
+    let measured: Vec<f64> = samples.iter().map(|(m, _)| *m).collect();
+    let predicted: Vec<f64> = samples.iter().map(|(_, p)| *p).collect();
+    E4Average {
+        n,
+        searches: samples.len(),
+        measured_mean: oc_analysis::mean(&measured),
+        predicted_mean: oc_analysis::mean(&predicted),
+        two_log_n: 2.0 * f64::from(oc_topology::dimension(n)),
+    }
+}
+
 /// E4b: averages the `search_father` cost over every failure position.
 #[must_use]
 pub fn e4_average(n: usize, seed: u64) -> E4Average {
-    use oc_topology::canonical_power;
-    let pmax = oc_topology::dimension(n);
-    let mut measured = Vec::new();
-    let mut predicted = Vec::new();
-    for raw in 1..=n as u32 {
-        let victim = NodeId::new(raw);
-        let q = canonical_power(n, victim);
-        if q == 0 {
-            continue; // leaf: nobody's father, no search on its failure
-        }
-        let searcher = NodeId::from_zero_based(victim.zero_based() | 1);
-        let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(ft_cfg(n, 0)));
-        world.schedule_failure(SimTime::from_ticks(1), victim);
-        world.schedule_request(SimTime::from_ticks(10), searcher);
-        assert!(world.run_to_quiescence(), "E4b run wedged");
-        let stats = oc_algo::aggregate_stats(&world);
-        measured.push(stats.nodes_tested as f64);
-        let end = if q == pmax { pmax } else { q + 1 };
-        predicted.push(oc_analysis::expected_ring_probes(1, end) as f64);
-    }
-    E4Average {
-        n,
-        searches: measured.len(),
-        measured_mean: oc_analysis::mean(&measured),
-        predicted_mean: oc_analysis::mean(&predicted),
-        two_log_n: 2.0 * f64::from(pmax),
-    }
+    let samples: Vec<(f64, f64)> =
+        (1..=n as u32).filter_map(|raw| e4_victim_probes(n, raw, seed)).collect();
+    e4_average_of(n, &samples)
 }
 
 // --------------------------------------------------------------------
@@ -487,10 +521,15 @@ fn run_sequential<P: Protocol>(
     (world.metrics().messages_per_cs(), worst)
 }
 
-/// E5: the three-way comparison (plus the centralized strawman) under the
-/// workloads of DESIGN.md's experiment index.
-#[must_use]
-pub fn e5_comparison(n: usize, seed: u64) -> Vec<E5Row> {
+/// Runs the full E5 workload battery for one node constructor. The
+/// concurrent and hotspot schedules are rebuilt from `seed` alone, so
+/// every algorithm at one `(n, seed)` faces byte-identical workloads no
+/// matter which sweep cell (or thread) it runs in.
+fn e5_measure<P: Protocol>(
+    make: impl Fn() -> Vec<P>,
+    n: usize,
+    seed: u64,
+) -> (f64, u64, f64, f64, f64, u64) {
     let conc_count = 4 * n;
     let gap = SimDuration::from_ticks(25);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -503,55 +542,30 @@ pub fn e5_comparison(n: usize, seed: u64) -> Vec<E5Row> {
         conc_count,
         SimDuration::from_ticks(200),
     );
+    let (sa, sw) = run_sequential(&make, n, seed);
+    let (ca, _) = run_schedule(make(), &conc, seed);
+    let (ha, _) = run_schedule(make(), &hot, seed);
+    let (ba, bw) = run_burst(make(), n, seed);
+    (sa, sw, ca, ha, ba, bw)
+}
 
-    let mut rows = Vec::new();
-    for algo in Algo::all() {
-        let (seq_avg, seq_worst, conc_avg, hotspot_avg, burst_avg, post_burst_worst) = match algo {
-            Algo::OpenCube => {
-                let make = || OpenCubeNode::build_all(plain_cfg(n));
-                let (sa, sw) = run_sequential(make, n, seed);
-                let (ca, _) = run_schedule(make(), &conc, seed);
-                let (ha, _) = run_schedule(make(), &hot, seed);
-                let (ba, bw) = run_burst(make(), n, seed);
-                (sa, sw, ca, ha, ba, bw)
-            }
-            Algo::Raymond => {
-                let make = || RaymondNode::build_all(n);
-                let (sa, sw) = run_sequential(make, n, seed);
-                let (ca, _) = run_schedule(make(), &conc, seed);
-                let (ha, _) = run_schedule(make(), &hot, seed);
-                let (ba, bw) = run_burst(make(), n, seed);
-                (sa, sw, ca, ha, ba, bw)
-            }
-            Algo::NaimiTrehel => {
-                let make = || NaimiTrehelNode::build_all(n);
-                let (sa, sw) = run_sequential(make, n, seed);
-                let (ca, _) = run_schedule(make(), &conc, seed);
-                let (ha, _) = run_schedule(make(), &hot, seed);
-                let (ba, bw) = run_burst(make(), n, seed);
-                (sa, sw, ca, ha, ba, bw)
-            }
-            Algo::Central => {
-                let make = || CentralNode::build_all(n);
-                let (sa, sw) = run_sequential(make, n, seed);
-                let (ca, _) = run_schedule(make(), &conc, seed);
-                let (ha, _) = run_schedule(make(), &hot, seed);
-                let (ba, bw) = run_burst(make(), n, seed);
-                (sa, sw, ca, ha, ba, bw)
-            }
-        };
-        rows.push(E5Row {
-            algo,
-            n,
-            seq_avg,
-            seq_worst,
-            conc_avg,
-            hotspot_avg,
-            burst_avg,
-            post_burst_worst,
-        });
-    }
-    rows
+/// E5 cell: one algorithm at one size — the sweep's unit of work.
+#[must_use]
+pub fn e5_row(n: usize, algo: Algo, seed: u64) -> E5Row {
+    let (seq_avg, seq_worst, conc_avg, hotspot_avg, burst_avg, post_burst_worst) = match algo {
+        Algo::OpenCube => e5_measure(|| OpenCubeNode::build_all(plain_cfg(n)), n, seed),
+        Algo::Raymond => e5_measure(|| RaymondNode::build_all(n), n, seed),
+        Algo::NaimiTrehel => e5_measure(|| NaimiTrehelNode::build_all(n), n, seed),
+        Algo::Central => e5_measure(|| CentralNode::build_all(n), n, seed),
+    };
+    E5Row { algo, n, seq_avg, seq_worst, conc_avg, hotspot_avg, burst_avg, post_burst_worst }
+}
+
+/// E5: the three-way comparison (plus the centralized strawman) under the
+/// workloads of DESIGN.md's experiment index.
+#[must_use]
+pub fn e5_comparison(n: usize, seed: u64) -> Vec<E5Row> {
+    Algo::all().into_iter().map(|algo| e5_row(n, algo, seed)).collect()
 }
 
 // --------------------------------------------------------------------
@@ -582,26 +596,33 @@ pub struct E6Row {
 /// with adequate slack they never fire. (No failures are injected.)
 #[must_use]
 pub fn e6_slack_ablation(n: usize, seed: u64) -> Vec<E6Row> {
+    E6_SLACKS.iter().map(|&slack| e6_cell(n, slack, seed)).collect()
+}
+
+/// The slack levels the E6 ablation walks through.
+pub const E6_SLACKS: [u64; 5] = [0, 500, 2_000, 10_000, 50_000];
+
+/// E6 cell: one slack level at one size under the same saturating load
+/// (the seed fixes the workload, so slack is the only variable across the
+/// ablation's cells).
+#[must_use]
+pub fn e6_cell(n: usize, slack: u64, seed: u64) -> E6Row {
     let count = 4 * n;
     let gap = SimDuration::from_ticks(25); // saturating load
-    let mut rows = Vec::new();
-    for slack in [0u64, 500, 2_000, 10_000, 50_000] {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let schedule = ArrivalSchedule::uniform(&mut rng, n, count, gap);
-        let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(ft_cfg(n, slack)));
-        world.schedule_workload(&schedule);
-        assert!(world.run_to_quiescence(), "E6 run wedged at slack {slack}");
-        let stats = oc_algo::aggregate_stats(&world);
-        rows.push(E6Row {
-            n,
-            slack,
-            spurious_searches: stats.searches_started,
-            wasted_probes: stats.nodes_tested,
-            msgs_per_cs: world.metrics().messages_per_cs(),
-            all_served: world.metrics().cs_entries == world.requests_injected(),
-        });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schedule = ArrivalSchedule::uniform(&mut rng, n, count, gap);
+    let mut world = World::new(sim_config(seed), OpenCubeNode::build_all(ft_cfg(n, slack)));
+    world.schedule_workload(&schedule);
+    assert!(world.run_to_quiescence(), "E6 run wedged at slack {slack}");
+    let stats = oc_algo::aggregate_stats(&world);
+    E6Row {
+        n,
+        slack,
+        spurious_searches: stats.searches_started,
+        wasted_probes: stats.nodes_tested,
+        msgs_per_cs: world.metrics().messages_per_cs(),
+        all_served: world.metrics().cs_entries == world.requests_injected(),
     }
-    rows
 }
 
 // --------------------------------------------------------------------
@@ -615,6 +636,8 @@ pub struct E7Row {
     pub n: usize,
     /// Which event-queue backend ran the simulation.
     pub backend: QueueBackend,
+    /// The cell's derived RNG seed (recorded so a row can be replayed).
+    pub seed: u64,
     /// Requests injected (all served — asserted).
     pub requests: u64,
     /// Simulator events processed.
@@ -652,11 +675,395 @@ pub fn e7_throughput(n: usize, requests: usize, seed: u64, backend: QueueBackend
     E7Row {
         n,
         backend,
+        seed,
         requests: world.requests_injected(),
         events,
         messages: world.metrics().total_sent(),
         wall_secs,
         events_per_sec: if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 },
+    }
+}
+
+// --------------------------------------------------------------------
+// Parallel sweep runners — every experiment as independent cells
+// --------------------------------------------------------------------
+
+// Stream tags keeping each experiment's derived seeds disjoint.
+const S_E1: u64 = 1;
+const S_E2: u64 = 2;
+const S_E3: u64 = 3;
+const S_E4: u64 = 4;
+const S_E4B: u64 = 40;
+const S_E5: u64 = 5;
+const S_E6: u64 = 6;
+const S_E7: u64 = 7;
+
+/// E1 as a sweep: one cell per size.
+#[must_use]
+pub fn e1_sweep(sizes: &[usize], rounds: u32, master: u64, threads: usize) -> SweepOutcome<E1Row> {
+    sweep::sweep(sizes, threads, |_, &n| {
+        e1_worst_case(n, rounds, derive_seed(master, stream_id(S_E1, n as u64, 0)))
+    })
+}
+
+/// E2 as a sweep: one cell per size.
+#[must_use]
+pub fn e2_sweep(sizes: &[usize], master: u64, threads: usize) -> SweepOutcome<E2Row> {
+    sweep::sweep(sizes, threads, |_, &n| {
+        e2_average(n, derive_seed(master, stream_id(S_E2, n as u64, 0)))
+    })
+}
+
+/// One E3 sweep cell: a `(n, failures)` plan entry at one seed index.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct E3Cell {
+    /// System size.
+    pub n: usize,
+    /// Failures injected.
+    pub failures: usize,
+    /// Which independent repetition this is (0-based).
+    pub seed_index: usize,
+}
+
+/// Expands an E3 plan into cells: `seeds` independent repetitions per
+/// plan entry, grouped so each entry's repetitions are consecutive.
+#[must_use]
+pub fn e3_cells(plan: &[(usize, usize)], seeds: usize) -> Vec<E3Cell> {
+    plan.iter()
+        .flat_map(|&(n, failures)| {
+            (0..seeds).map(move |seed_index| E3Cell { n, failures, seed_index })
+        })
+        .collect()
+}
+
+/// E3 as a sweep. This replaces both the old serial table *and* the
+/// separate multi-seed summary pass — summaries now come from the same
+/// rows via [`e3_summaries`], so the failure battery runs once.
+#[must_use]
+pub fn e3_sweep(cells: &[E3Cell], master: u64, threads: usize) -> SweepOutcome<E3Row> {
+    sweep::sweep(cells, threads, |_, cell| {
+        let seed = derive_seed(master, stream_id(S_E3, cell.n as u64, cell.seed_index as u64));
+        e3_failures(cell.n, cell.failures, seed)
+    })
+}
+
+/// Multi-seed summary of one E3 plan entry.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct E3Summary {
+    /// System size.
+    pub n: usize,
+    /// Failures injected per repetition.
+    pub failures: u64,
+    /// Overhead-per-failure statistics across the repetitions.
+    pub overhead: oc_analysis::Summary,
+}
+
+/// Groups sweep rows (cells in [`e3_cells`] order) back into per-plan-entry
+/// summaries. Pure aggregation over the ordered rows, so the summaries are
+/// identical at any thread count.
+#[must_use]
+pub fn e3_summaries(cells: &[E3Cell], rows: &[E3Row]) -> Vec<E3Summary> {
+    assert_eq!(cells.len(), rows.len());
+    let mut summaries = Vec::new();
+    let mut start = 0usize;
+    while start < cells.len() {
+        let mut end = start + 1;
+        while end < cells.len()
+            && (cells[end].n, cells[end].failures) == (cells[start].n, cells[start].failures)
+        {
+            end += 1;
+        }
+        let samples: Vec<f64> = rows[start..end].iter().map(|r| r.overhead_per_failure).collect();
+        summaries.push(E3Summary {
+            n: cells[start].n,
+            failures: cells[start].failures as u64,
+            overhead: oc_analysis::Summary::of(&samples),
+        });
+        start = end;
+    }
+    summaries
+}
+
+/// E4 (per-power table) as a sweep: one cell per `(size, victim power)`.
+#[must_use]
+pub fn e4_sweep(sizes: &[usize], master: u64, threads: usize) -> SweepOutcome<E4Row> {
+    let cells: Vec<(usize, u32)> =
+        sizes.iter().flat_map(|&n| (1..=oc_topology::dimension(n)).map(move |q| (n, q))).collect();
+    sweep::sweep(&cells, threads, |_, &(n, q)| {
+        e4_cell(n, q, derive_seed(master, stream_id(S_E4, n as u64, u64::from(q))))
+    })
+}
+
+/// E4b (average over all victims) as a sweep: one cell per victim, folded
+/// back into one [`E4Average`] per size.
+#[must_use]
+pub fn e4_average_sweep(sizes: &[usize], master: u64, threads: usize) -> SweepOutcome<E4Average> {
+    let cells: Vec<(usize, u32)> =
+        sizes.iter().flat_map(|&n| (1..=n as u32).map(move |raw| (n, raw))).collect();
+    let outcome = sweep::sweep(&cells, threads, |_, &(n, raw)| {
+        (n, e4_victim_probes(n, raw, derive_seed(master, stream_id(S_E4B, n as u64, 0))))
+    });
+    let mut averages = Vec::new();
+    for &n in sizes {
+        let samples: Vec<(f64, f64)> = outcome
+            .results
+            .iter()
+            .filter(|(cell_n, _)| *cell_n == n)
+            .filter_map(|(_, sample)| *sample)
+            .collect();
+        averages.push(e4_average_of(n, &samples));
+    }
+    SweepOutcome {
+        results: averages,
+        wall_secs: outcome.wall_secs,
+        busy_secs: outcome.busy_secs,
+        threads: outcome.threads,
+    }
+}
+
+/// E5 as a sweep: one cell per `(size, algorithm)`. All four algorithms
+/// at one size share a seed, hence byte-identical workloads — the
+/// comparison stays fair under sharding.
+#[must_use]
+pub fn e5_sweep(sizes: &[usize], master: u64, threads: usize) -> SweepOutcome<E5Row> {
+    let cells: Vec<(usize, Algo)> =
+        sizes.iter().flat_map(|&n| Algo::all().into_iter().map(move |algo| (n, algo))).collect();
+    sweep::sweep(&cells, threads, |_, &(n, algo)| {
+        e5_row(n, algo, derive_seed(master, stream_id(S_E5, n as u64, 0)))
+    })
+}
+
+/// E6 as a sweep: one cell per `(size, slack)`. All slack levels at one
+/// size share a seed (the ablation varies slack only).
+#[must_use]
+pub fn e6_sweep(sizes: &[usize], master: u64, threads: usize) -> SweepOutcome<E6Row> {
+    let cells: Vec<(usize, u64)> =
+        sizes.iter().flat_map(|&n| E6_SLACKS.into_iter().map(move |s| (n, s))).collect();
+    sweep::sweep(&cells, threads, |_, &(n, slack)| {
+        e6_cell(n, slack, derive_seed(master, stream_id(S_E6, n as u64, 0)))
+    })
+}
+
+/// One E7 sweep cell: a full timed run of one size on one backend with
+/// one derived seed.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct E7Cell {
+    /// System size.
+    pub n: usize,
+    /// Requests to inject.
+    pub requests: usize,
+    /// Event-queue backend under test.
+    pub backend: QueueBackend,
+    /// Which independent repetition of this size (0-based).
+    pub seed_index: usize,
+    /// Derived RNG seed for this cell.
+    pub seed: u64,
+}
+
+/// Expands an E7 scaling plan — `(n, requests, independent seeds)` — into
+/// cells over both queue backends.
+#[must_use]
+pub fn e7_cells(plan: &[(usize, usize, usize)], master: u64) -> Vec<E7Cell> {
+    let mut cells = Vec::new();
+    for &(n, requests, seeds) in plan {
+        for seed_index in 0..seeds {
+            for backend in [QueueBackend::Heap, QueueBackend::Bucketed] {
+                let seed = derive_seed(master, stream_id(S_E7, n as u64, seed_index as u64));
+                cells.push(E7Cell { n, requests, backend, seed_index, seed });
+            }
+        }
+    }
+    cells
+}
+
+/// E7 as a sweep: the multi-size, multi-seed scaling table. Virtual-time
+/// columns (events, messages) are deterministic per cell; the wall-clock
+/// columns measure whatever contention the chosen thread count creates,
+/// so single-threaded runs remain the comparable engine headline.
+#[must_use]
+pub fn e7_sweep(cells: &[E7Cell], threads: usize) -> SweepOutcome<E7Row> {
+    sweep::sweep(cells, threads, |_, cell| {
+        e7_throughput(cell.n, cell.requests, cell.seed, cell.backend)
+    })
+}
+
+// --------------------------------------------------------------------
+// BENCH_E*.json — machine-readable artifacts
+// --------------------------------------------------------------------
+
+/// Assembles one `BENCH_E*.json` document: the common envelope (schema
+/// version, master seed, sweep timing, measured parallel speedup) around
+/// the experiment's serialized rows plus any extra sections.
+#[must_use]
+pub fn bench_artifact<T>(
+    experiment: &'static str,
+    master_seed: u64,
+    quick: bool,
+    outcome: &SweepOutcome<T>,
+    rows: Vec<Value>,
+    extra: Vec<(&'static str, Value)>,
+) -> Value {
+    let mut fields = vec![
+        ("schema_version", Value::UInt(1)),
+        ("experiment", Value::str(experiment)),
+        ("master_seed", Value::UInt(master_seed)),
+        ("quick", Value::Bool(quick)),
+        ("threads", Value::UInt(outcome.threads as u64)),
+        ("cells", Value::UInt(outcome.results.len() as u64)),
+        ("wall_secs", Value::Num(outcome.wall_secs)),
+        ("busy_secs", Value::Num(outcome.busy_secs)),
+        ("parallel_speedup", Value::Num(outcome.speedup())),
+        ("rows", Value::Arr(rows)),
+    ];
+    fields.extend(extra);
+    Value::Obj(fields)
+}
+
+impl E1Row {
+    /// Serializes the row for `BENCH_E1.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n", Value::UInt(self.n as u64)),
+            ("bound", Value::UInt(self.bound)),
+            ("measured_worst", Value::UInt(self.measured_worst)),
+            ("measured_worst_with_return", Value::UInt(self.measured_worst_with_return)),
+            ("requests", Value::UInt(self.requests)),
+        ])
+    }
+}
+
+impl E2Row {
+    /// Serializes the row for `BENCH_E2.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n", Value::UInt(self.n as u64)),
+            ("measured_total", Value::UInt(self.measured_total)),
+            ("alpha", Value::UInt(self.alpha)),
+            ("measured_avg", Value::Num(self.measured_avg)),
+            ("closed_form", Value::Num(self.closed_form)),
+            ("evolving_avg", Value::Num(self.evolving_avg)),
+        ])
+    }
+}
+
+impl E3Row {
+    /// Serializes the row for `BENCH_E3.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n", Value::UInt(self.n as u64)),
+            ("failures", Value::UInt(self.failures)),
+            ("overhead_per_failure", Value::Num(self.overhead_per_failure)),
+            ("extra_per_failure", Value::Num(self.extra_per_failure)),
+            ("searches", Value::UInt(self.searches)),
+            ("regenerations", Value::UInt(self.regenerations)),
+            ("served", Value::UInt(self.served)),
+            ("injected", Value::UInt(self.injected)),
+        ])
+    }
+}
+
+impl E3Summary {
+    /// Serializes the summary for `BENCH_E3.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n", Value::UInt(self.n as u64)),
+            ("failures", Value::UInt(self.failures)),
+            ("seeds", Value::UInt(self.overhead.count as u64)),
+            ("mean", Value::Num(self.overhead.mean)),
+            ("ci95", Value::Num(self.overhead.ci95)),
+            ("min", Value::Num(self.overhead.min)),
+            ("max", Value::Num(self.overhead.max)),
+        ])
+    }
+}
+
+impl E4Row {
+    /// Serializes the row for `BENCH_E4.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n", Value::UInt(self.n as u64)),
+            ("victim_power", Value::UInt(u64::from(self.victim_power))),
+            ("start_phase", Value::UInt(u64::from(self.start_phase))),
+            ("predicted_probes", Value::UInt(self.predicted_probes)),
+            ("measured_probes", Value::UInt(self.measured_probes)),
+            ("regenerated", Value::UInt(self.regenerated)),
+        ])
+    }
+}
+
+impl E4Average {
+    /// Serializes the average row for `BENCH_E4.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n", Value::UInt(self.n as u64)),
+            ("searches", Value::UInt(self.searches as u64)),
+            ("measured_mean", Value::Num(self.measured_mean)),
+            ("predicted_mean", Value::Num(self.predicted_mean)),
+            ("two_log_n", Value::Num(self.two_log_n)),
+        ])
+    }
+}
+
+impl E5Row {
+    /// Serializes the row for `BENCH_E5.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n", Value::UInt(self.n as u64)),
+            ("algo", Value::str(self.algo.name())),
+            ("seq_avg", Value::Num(self.seq_avg)),
+            ("seq_worst", Value::UInt(self.seq_worst)),
+            ("conc_avg", Value::Num(self.conc_avg)),
+            ("hotspot_avg", Value::Num(self.hotspot_avg)),
+            ("burst_avg", Value::Num(self.burst_avg)),
+            ("post_burst_worst", Value::UInt(self.post_burst_worst)),
+        ])
+    }
+}
+
+impl E6Row {
+    /// Serializes the row for `BENCH_E6.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n", Value::UInt(self.n as u64)),
+            ("slack", Value::UInt(self.slack)),
+            ("spurious_searches", Value::UInt(self.spurious_searches)),
+            ("wasted_probes", Value::UInt(self.wasted_probes)),
+            ("msgs_per_cs", Value::Num(self.msgs_per_cs)),
+            ("all_served", Value::Bool(self.all_served)),
+        ])
+    }
+}
+
+impl E7Row {
+    /// Serializes the row for `BENCH_E7.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n", Value::UInt(self.n as u64)),
+            ("backend", Value::str(format!("{:?}", self.backend).to_lowercase())),
+            ("seed", Value::UInt(self.seed)),
+            ("requests", Value::UInt(self.requests)),
+            ("events", Value::UInt(self.events)),
+            ("messages", Value::UInt(self.messages)),
+            (
+                "msgs_per_request",
+                Value::Num(if self.requests == 0 {
+                    0.0
+                } else {
+                    self.messages as f64 / self.requests as f64
+                }),
+            ),
+            ("wall_secs", Value::Num(self.wall_secs)),
+            ("events_per_sec", Value::Num(self.events_per_sec)),
+        ])
     }
 }
 
@@ -763,5 +1170,90 @@ mod tests {
         let fig = render_figure_tree(8);
         assert!(fig.contains("1 (power 3)"));
         assert!(fig.contains("5 (power 2)"));
+    }
+
+    /// Renders rows to their JSON artifact form — the byte-exact
+    /// representation the acceptance criterion talks about.
+    fn fingerprints<T>(rows: &[T], to_json: impl Fn(&T) -> Value) -> Vec<String> {
+        rows.iter().map(|r| to_json(r).render()).collect()
+    }
+
+    #[test]
+    fn e3_sweep_is_byte_identical_at_any_thread_count() {
+        let cells = e3_cells(&[(16, 3), (8, 2)], 2);
+        assert_eq!(cells.len(), 4);
+        let serial = e3_sweep(&cells, 42, 1);
+        for threads in [2, 4, 7] {
+            let parallel = e3_sweep(&cells, 42, threads);
+            assert_eq!(
+                fingerprints(&serial.results, E3Row::to_json),
+                fingerprints(&parallel.results, E3Row::to_json),
+                "threads={threads}"
+            );
+            assert_eq!(
+                fingerprints(&e3_summaries(&cells, &serial.results), E3Summary::to_json),
+                fingerprints(&e3_summaries(&cells, &parallel.results), E3Summary::to_json),
+            );
+        }
+        let summaries = e3_summaries(&cells, &serial.results);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].overhead.count, 2);
+    }
+
+    #[test]
+    fn e4_sweeps_match_their_serial_counterparts() {
+        let per_power = e4_sweep(&[16], 42, 2);
+        let serial = e4_search_cost(16, derive_seed(42, stream_id(S_E4, 16, 1)));
+        // Same probe counts per power (seeds differ per power in the sweep,
+        // but probe counts are workload-independent for E4's scenario).
+        assert_eq!(per_power.results.len(), serial.len());
+        for (a, b) in per_power.results.iter().zip(&serial) {
+            assert_eq!(a.measured_probes, b.measured_probes);
+            assert_eq!(a.predicted_probes, b.predicted_probes);
+        }
+
+        let averaged = e4_average_sweep(&[16], 42, 3);
+        let expected = e4_average(16, derive_seed(42, stream_id(S_E4B, 16, 0)));
+        assert_eq!(averaged.results.len(), 1);
+        assert_eq!(averaged.results[0].searches, expected.searches);
+        assert_eq!(averaged.results[0].measured_mean, expected.measured_mean);
+        assert_eq!(averaged.results[0].predicted_mean, expected.predicted_mean);
+    }
+
+    #[test]
+    fn e7_cells_expand_the_scaling_plan() {
+        let cells = e7_cells(&[(64, 128, 2), (128, 64, 1)], 42);
+        // 2 seeds × 2 backends + 1 seed × 2 backends.
+        assert_eq!(cells.len(), 6);
+        // Heap/bucketed pairs share the seed, so their virtual results
+        // must agree.
+        assert_eq!(cells[0].seed, cells[1].seed);
+        assert_ne!(cells[0].seed, cells[2].seed);
+        assert_ne!(cells[0].seed, cells[4].seed);
+    }
+
+    #[test]
+    fn bench_artifacts_render_wellformed_json() {
+        let cells = e7_cells(&[(64, 128, 1)], 42);
+        let outcome = e7_sweep(&cells, 2);
+        let rows = outcome.results.iter().map(E7Row::to_json).collect();
+        let doc = bench_artifact("e7", 42, true, &outcome, rows, Vec::new());
+        let text = doc.render();
+        json::validate(&text).expect("artifact must be valid JSON");
+        assert!(text.contains("\"experiment\":\"e7\""));
+        assert!(text.contains("\"events_per_sec\""));
+        assert!(text.contains("\"msgs_per_request\""));
+        assert!(text.contains("\"parallel_speedup\""));
+
+        let e1 = e1_sweep(&[8], 1, 42, 1);
+        let doc = bench_artifact(
+            "e1",
+            42,
+            true,
+            &e1,
+            e1.results.iter().map(E1Row::to_json).collect(),
+            vec![("note", Value::str("extra sections ride along"))],
+        );
+        json::validate(&doc.render()).unwrap();
     }
 }

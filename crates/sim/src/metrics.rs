@@ -51,7 +51,7 @@ impl MsgKind {
 }
 
 /// Aggregated counters collected by a simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Messages sent, by kind.
     sends_by_kind: BTreeMap<MsgKind, u64>,
@@ -132,6 +132,26 @@ impl Metrics {
     pub fn extra_messages_vs(&self, baseline: &Metrics) -> i64 {
         self.total_sent() as i64 - baseline.total_sent() as i64
     }
+
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// The reduction step for experiments that aggregate over many
+    /// independent `World`s (e.g. E2's canonical-configuration totals in
+    /// `oc-bench`, and any sweep cell that folds several runs). Merging is
+    /// associative and `Metrics::default()` is its identity (unit-tested
+    /// below), so an aggregate is independent of how the runs were
+    /// sharded or ordered.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (kind, count) in &other.sends_by_kind {
+            *self.sends_by_kind.entry(*kind).or_insert(0) += count;
+        }
+        self.lost_to_crashes += other.lost_to_crashes;
+        self.cs_entries += other.cs_entries;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.total_waiting_ticks += other.total_waiting_ticks;
+        self.events_processed += other.events_processed;
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +197,60 @@ mod tests {
         assert!((m.messages_per_cs() - 1.0).abs() < f64::EPSILON);
         m.total_waiting_ticks = 10;
         assert!((m.mean_waiting_ticks() - 5.0).abs() < f64::EPSILON);
+    }
+
+    /// Builds a metrics value with distinctive counters for merge tests.
+    fn sample(salt: u64) -> Metrics {
+        let mut m = Metrics::new();
+        for _ in 0..salt {
+            m.record_send(MsgKind::Request);
+        }
+        m.record_send(MsgKind::Test);
+        m.lost_to_crashes = salt;
+        m.cs_entries = 2 * salt;
+        m.crashes = salt % 3;
+        m.recoveries = salt % 2;
+        m.total_waiting_ticks = 10 * salt;
+        m.events_processed = 100 + salt;
+        m
+    }
+
+    #[test]
+    fn merge_sums_componentwise() {
+        let mut a = sample(3);
+        a.merge(&sample(5));
+        assert_eq!(a.sent(MsgKind::Request), 8);
+        assert_eq!(a.sent(MsgKind::Test), 2);
+        assert_eq!(a.lost_to_crashes, 8);
+        assert_eq!(a.cs_entries, 16);
+        assert_eq!(a.total_waiting_ticks, 80);
+        assert_eq!(a.events_processed, 208);
+    }
+
+    #[test]
+    fn merge_identity_is_default() {
+        let mut left = sample(7);
+        left.merge(&Metrics::default());
+        assert_eq!(left, sample(7));
+
+        let mut right = Metrics::default();
+        right.merge(&sample(7));
+        assert_eq!(right, sample(7));
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let (a, b, c) = (sample(1), sample(4), sample(9));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
     }
 
     #[test]

@@ -53,15 +53,83 @@ pub fn dist(i: NodeId, j: NodeId) -> u32 {
 /// ```
 #[must_use]
 pub fn nodes_at_distance(n: usize, from: NodeId, d: u32) -> Vec<NodeId> {
+    ring_iter(n, from, d).collect()
+}
+
+/// Allocation-free iterator over the distance-`d` ring of `from` — the
+/// same `2^(d-1)` nodes as [`nodes_at_distance`], in the same increasing
+/// identity order, but computed lazily from three integers instead of a
+/// materialized `Vec`. This is the hot path of `search_father`: every
+/// probe phase walks one ring, and at production sizes the outer rings
+/// hold up to `n/2` members.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, `from > n`, or `d` is outside
+/// `1..=log2 n` — the same contract as [`nodes_at_distance`].
+///
+/// ```
+/// use oc_topology::{ring_iter, NodeId};
+/// let ring: Vec<u32> = ring_iter(16, NodeId::new(10), 2).map(NodeId::get).collect();
+/// assert_eq!(ring, vec![11, 12]);
+/// assert_eq!(ring_iter(16, NodeId::new(10), 4).len(), 8);
+/// ```
+#[must_use]
+pub fn ring_iter(n: usize, from: NodeId, d: u32) -> RingIter {
     let p = crate::dimension(n);
     assert!((from.get() as usize) <= n, "node {from} outside 1..={n}");
     assert!(d >= 1 && d <= p, "distance {d} outside 1..={p}");
-    let z = from.zero_based();
-    // Nodes at distance d: indices whose bits above position d-1 agree with
-    // z, bit d-1 differs, and bits below d-1 are free.
-    let base = (z & !((1u32 << d) - 1)) | ((z ^ (1 << (d - 1))) & (1 << (d - 1)));
-    (0..(1u32 << (d - 1))).map(|low| NodeId::from_zero_based(base | low)).collect()
+    RingIter { base: ring_base(from, d), next: 0, end: 1u32 << (d - 1) }
 }
+
+/// The common zero-based prefix of every member of `from`'s distance-`d`
+/// ring: bits above position `d-1` agree with `from`, bit `d-1` differs,
+/// and bits below `d-1` are free (those free bits index the ring).
+pub(crate) fn ring_base(from: NodeId, d: u32) -> u32 {
+    let z = from.zero_based();
+    (z & !((1u32 << d) - 1)) | ((z ^ (1 << (d - 1))) & (1 << (d - 1)))
+}
+
+/// Iterator of [`ring_iter`]: yields `base | low` for `low` in
+/// `0..2^(d-1)`, as [`NodeId`]s in increasing identity order.
+#[derive(Debug, Clone)]
+pub struct RingIter {
+    base: u32,
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for RingIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next == self.end {
+            return None;
+        }
+        let low = self.next;
+        self.next += 1;
+        Some(NodeId::from_zero_based(self.base | low))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.end - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RingIter {}
+
+impl DoubleEndedIterator for RingIter {
+    fn next_back(&mut self) -> Option<NodeId> {
+        if self.next == self.end {
+            return None;
+        }
+        self.end -= 1;
+        Some(NodeId::from_zero_based(self.base | self.end))
+    }
+}
+
+impl core::iter::FusedIterator for RingIter {}
 
 /// Size of the distance-`d` ring: `2^(d-1)` nodes for `d ≥ 1`
 /// (independent of the node, paper Section 5).
@@ -161,5 +229,47 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn ring_rejects_excessive_distance() {
         let _ = nodes_at_distance(8, NodeId::new(1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn ring_iter_rejects_excessive_distance() {
+        let _ = ring_iter(8, NodeId::new(1), 4);
+    }
+
+    #[test]
+    fn ring_iter_is_exact_sized_and_fused() {
+        let mut it = ring_iter(64, NodeId::new(7), 4);
+        assert_eq!(it.len(), 8);
+        assert_eq!(it.size_hint(), (8, Some(8)));
+        let _ = it.next();
+        assert_eq!(it.len(), 7);
+        for _ in it.by_ref() {}
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn ring_iter_reverses_cleanly() {
+        let forward: Vec<NodeId> = ring_iter(64, NodeId::new(21), 5).collect();
+        let mut backward: Vec<NodeId> = ring_iter(64, NodeId::new(21), 5).rev().collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn ring_iter_matches_membership_by_distance() {
+        // Every member the iterator yields is at distance exactly d, and
+        // every node at distance d is yielded (checked by counting).
+        let n = 128;
+        for from in NodeId::all(n) {
+            for d in 1..=7 {
+                let members: Vec<NodeId> = ring_iter(n, from, d).collect();
+                assert_eq!(members.len(), ring_size(d));
+                for m in &members {
+                    assert_eq!(dist(from, *m), d);
+                }
+            }
+        }
     }
 }

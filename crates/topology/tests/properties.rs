@@ -121,3 +121,28 @@ proptest! {
         }
     }
 }
+
+/// Exhaustive (not sampled) conformance of the allocation-free ring
+/// iterator: for every power-of-two system size up to 1024, every node,
+/// and every legal distance, `ring_iter` yields exactly the nodes whose
+/// identity distance is `d` — in increasing identity order — and
+/// `nodes_at_distance` materializes the identical sequence.
+#[test]
+fn ring_iter_enumerates_every_ring_exactly() {
+    use oc_topology::{nodes_at_distance, ring_iter, ring_size};
+    for p in 1..=10u32 {
+        let n = 1usize << p;
+        for from in NodeId::all(n) {
+            for d in 1..=p {
+                // Ground truth straight from Definition 2.2, independent of
+                // the bit trickery both implementations share.
+                let by_distance: Vec<NodeId> =
+                    NodeId::all(n).filter(|j| dist(from, *j) == d).collect();
+                let iterated: Vec<NodeId> = ring_iter(n, from, d).collect();
+                assert_eq!(iterated, by_distance, "ring({from}, {d}) in n={n}");
+                assert_eq!(iterated, nodes_at_distance(n, from, d));
+                assert_eq!(ring_iter(n, from, d).len(), ring_size(d));
+            }
+        }
+    }
+}
