@@ -4,6 +4,32 @@
 use oc_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// A deliberately disabled protocol obligation, for oracle self-tests.
+///
+/// The adversarial explorer (`oc-check`) must *prove* its oracle suite can
+/// catch real protocol bugs, not just pass clean runs. Each non-`None`
+/// variant switches off exactly one obligation of the Section 5 machinery;
+/// the explorer's self-check asserts that a bounded seed budget finds a
+/// scenario whose oracle verdict exposes the mutation, then shrinks it to
+/// a minimal replayable counterexample. Every real configuration uses
+/// [`Mutation::None`]; the others exist only to be caught.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// The lending root concludes its loaned token is lost (enquiry
+    /// timeout, "token lost" reply, or a doubly-confirmed return) but
+    /// never regenerates it: the loan stays open forever, wedging the
+    /// lender and starving every queued request — a *liveness* bug the
+    /// stuck-node and starvation oracles must flag.
+    SkipTokenRegeneration,
+    /// A transit node hands the token to its last son but forgets to give
+    /// it up locally: two live tokens exist at once — a *safety* bug the
+    /// token-uniqueness oracle must flag.
+    KeepTokenOnTransit,
+}
+
 /// Configuration shared by all nodes of one open-cube system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Config {
@@ -31,6 +57,10 @@ pub struct Config {
     /// round trip can take exactly `2δ` and must not lose the race against
     /// a `2δ` timer.
     pub timeout_margin: SimDuration,
+    /// Oracle self-test knob: a deliberately disabled protocol obligation
+    /// (see [`Mutation`]). Always [`Mutation::None`] outside explorer
+    /// self-checks.
+    pub mutation: Mutation,
 }
 
 impl Config {
@@ -50,6 +80,7 @@ impl Config {
             fault_tolerance: true,
             contention_slack: SimDuration::ZERO,
             timeout_margin: SimDuration::from_ticks(1),
+            mutation: Mutation::None,
         }
     }
 
@@ -63,6 +94,14 @@ impl Config {
     #[must_use]
     pub fn with_contention_slack(mut self, slack: SimDuration) -> Self {
         self.contention_slack = slack;
+        self
+    }
+
+    /// Plants a deliberate protocol bug for oracle self-tests (builder
+    /// style). See [`Mutation`].
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: Mutation) -> Self {
+        self.mutation = mutation;
         self
     }
 
@@ -107,6 +146,27 @@ impl Config {
     #[must_use]
     pub fn search_phase_timeout(&self) -> SimDuration {
         self.delta * 2 + self.timeout_margin
+    }
+
+    /// How many try-later re-probe rounds one search phase tolerates
+    /// before treating the postponing members as wedged.
+    ///
+    /// "Try later" promises the answerer's state resolves soon: it is
+    /// asking (its claim completes within the backlog the contention
+    /// slack budgets for) or briefly holds the token. If a full patience
+    /// budget — several suspicion timeouts plus a proxied loan round —
+    /// passes with the same members still postponing, no legitimate
+    /// backlog is left that could explain them: the system is in a
+    /// degraded stand-off (e.g. every claimant waiting on a token that
+    /// died with a crashed carrier, a state the adversarial explorer
+    /// drove several schedules into, where unbounded patience spins
+    /// forever). Discarding the postponers then lets the search make
+    /// progress exactly like the paper's silent-node discard after `2δ`.
+    #[must_use]
+    pub fn search_patience_rounds(&self) -> u32 {
+        let budget = (self.token_wait_timeout() * 3 + self.loan_timeout_via_proxies()).ticks();
+        let round = self.search_phase_timeout().ticks().max(1);
+        u32::try_from(budget / round).unwrap_or(u32::MAX).max(4)
     }
 }
 

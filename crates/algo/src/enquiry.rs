@@ -25,11 +25,13 @@ impl OpenCubeNode {
     /// The loan timer fired: the token is overdue — enquire with the
     /// source.
     pub(crate) fn on_loan_timeout(&mut self, out: &mut Outbox<Msg>) {
-        let Some(loan) = self.loan else {
+        let Some(loan) = self.loan.as_mut() else {
             return; // stale: the token came back
         };
+        loan.enquiry_outstanding = true;
+        let (source, source_seq) = (loan.source, loan.source_seq);
         self.stats_mut().enquiries_sent += 1;
-        out.send(loan.source, Msg::Enquiry { source_seq: loan.source_seq });
+        out.send(source, Msg::Enquiry { source_seq });
         out.set_timer(TIMER_ENQUIRY, self.config_inner().enquiry_timeout());
     }
 
@@ -62,6 +64,14 @@ impl OpenCubeNode {
         if loan.source_seq != source_seq {
             return; // about an older loan
         }
+        if !loan.enquiry_outstanding {
+            // No enquiry is waiting for an answer: this reply is a wire
+            // duplicate (or a stale echo). Consuming it would let one
+            // enquiry round count twice — e.g. a doubled "returned" reply
+            // regenerating the token while the real one is in flight.
+            return;
+        }
+        loan.enquiry_outstanding = false;
         out.cancel_timer(TIMER_ENQUIRY);
         match status {
             EnquiryStatus::StillInCs => {
@@ -90,6 +100,14 @@ impl OpenCubeNode {
     /// Regenerates the token as the (still) root lender and resumes
     /// serving the queue.
     fn regenerate_as_lender(&mut self, out: &mut Outbox<Msg>) {
+        if self.config_inner().mutation == crate::config::Mutation::SkipTokenRegeneration {
+            // Planted bug (oracle self-test): the loss is concluded but
+            // never repaired. The timers are disarmed and the loan kept
+            // open, so the lender is wedged forever — the liveness oracle
+            // must see a stuck node and starved requests.
+            self.cancel_loan_timers(out);
+            return;
+        }
         self.loan = None;
         self.cancel_loan_timers(out);
         self.regenerate_token_here();
@@ -203,6 +221,50 @@ mod tests {
             Msg::EnquiryReply { source_seq: 7, status: EnquiryStatus::TokenReturned },
         );
         assert!(root.holds_token(), "second 'returned': the return was lost");
+    }
+
+    #[test]
+    fn duplicated_reply_frames_are_ignored() {
+        // One enquiry round must consume at most one reply: a wire
+        // duplicate of a "returned" answer must not fast-forward the
+        // two-confirmation deduction and regenerate a live token.
+        let mut root = lending_root();
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        let reply = Msg::EnquiryReply { source_seq: 7, status: EnquiryStatus::TokenReturned };
+        let _ = deliver(&mut root, 2, reply.clone());
+        assert!(!root.holds_token(), "first 'returned': wait for the token");
+        // The duplicated frame of the same reply arrives: ignored.
+        let _ = deliver(&mut root, 2, reply);
+        assert!(!root.holds_token(), "a duplicate reply must not count as a second round");
+        assert!(root.loan.is_some());
+        assert_eq!(root.stats().tokens_regenerated, 0);
+        // The genuine second round (new enquiry, new reply) still works.
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        let _ = deliver(
+            &mut root,
+            2,
+            Msg::EnquiryReply { source_seq: 7, status: EnquiryStatus::TokenReturned },
+        );
+        assert!(root.holds_token());
+    }
+
+    #[test]
+    fn skip_regeneration_mutation_wedges_the_lender() {
+        // The planted liveness bug: the lender concludes the token is lost
+        // but never regenerates — it stays busy forever.
+        let cfg = ft_cfg(4).with_mutation(crate::config::Mutation::SkipTokenRegeneration);
+        let mut root = OpenCubeNode::new(NodeId::new(1), cfg);
+        let _ = deliver(
+            &mut root,
+            2,
+            Msg::Request { claimant: NodeId::new(2), source: NodeId::new(2), source_seq: 7 },
+        );
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
+        let _ = drain(&mut root, NodeEvent::Timer(TIMER_ENQUIRY));
+        assert!(!root.holds_token(), "mutation: no token regenerated");
+        assert!(root.loan.is_some(), "the open loan wedges the lender");
+        assert!(!root.is_idle());
+        assert_eq!(root.stats().tokens_regenerated, 0);
     }
 
     #[test]

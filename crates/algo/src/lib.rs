@@ -56,7 +56,7 @@ mod ringset;
 mod search;
 mod stats;
 
-pub use config::Config;
+pub use config::{Config, Mutation};
 pub use message::{AnswerKind, EnquiryStatus, Msg};
 pub use node::OpenCubeNode;
 pub use ringset::{RingSet, RingSetIter};

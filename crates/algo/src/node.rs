@@ -44,6 +44,14 @@ pub(crate) struct Loan {
     /// Set once an enquiry answered "returned"; a second "returned" for the
     /// same loan means the return message can no longer be in flight.
     pub returned_once: bool,
+    /// `true` while an enquiry is in flight and unanswered. Replies that
+    /// arrive while no enquiry is outstanding are duplicates (or stale
+    /// echoes) and must be ignored: the "returned twice" and "source
+    /// silent" deductions are sound only if each enquiry round consumes at
+    /// most one reply. Surfaced by the adversarial explorer under
+    /// duplicate-delivery faults — a doubled `TokenReturned` frame used to
+    /// regenerate the token while the real one was still in flight.
+    pub enquiry_outstanding: bool,
 }
 
 /// One node of the open-cube mutual exclusion algorithm.
@@ -282,7 +290,9 @@ impl OpenCubeNode {
             // claimant's branch passes through our last son).
             self.stats.transits += 1;
             if self.token_here {
-                self.token_here = false;
+                if self.cfg.mutation != crate::config::Mutation::KeepTokenOnTransit {
+                    self.token_here = false;
+                }
                 out.send(claimant, Msg::Token { lender: None });
             } else {
                 let father = self.father.expect("a transit node without the token has a father");
@@ -451,7 +461,14 @@ impl OpenCubeNode {
         out: &mut Outbox<Msg>,
     ) {
         let direct = claimant == source;
-        self.loan = Some(Loan { claimant, source, source_seq, direct, returned_once: false });
+        self.loan = Some(Loan {
+            claimant,
+            source,
+            source_seq,
+            direct,
+            returned_once: false,
+            enquiry_outstanding: false,
+        });
         if self.cfg.fault_tolerance {
             let timeout = if direct {
                 self.cfg.loan_timeout_direct()
@@ -1016,6 +1033,25 @@ mod tests {
         let s = sends(&actions);
         assert_eq!(s, vec![(NodeId::new(1), Msg::Token { lender: None })]);
         assert!(!node.holds_token());
+    }
+
+    #[test]
+    fn keep_token_on_transit_mutation_duplicates_the_token() {
+        // The planted safety bug: a transit node sends token(nil) to its
+        // last son but also keeps it.
+        let cfg = crate::config::Config {
+            mutation: crate::config::Mutation::KeepTokenOnTransit,
+            ..cfg(4)
+        };
+        let mut root = OpenCubeNode::new(NodeId::new(1), cfg);
+        let actions = deliver(
+            &mut root,
+            3,
+            Msg::Request { claimant: NodeId::new(3), source: NodeId::new(3), source_seq: 1 },
+        );
+        let s = sends(&actions);
+        assert_eq!(s, vec![(NodeId::new(3), Msg::Token { lender: None })]);
+        assert!(root.holds_token(), "mutation: the token was sent AND kept");
     }
 
     #[test]

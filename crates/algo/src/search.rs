@@ -13,7 +13,7 @@
 //! identity tie-break of Section 5 ("Concurrent suspicions of failure").
 
 use oc_sim::Outbox;
-use oc_topology::{dist, ring_iter, NodeId};
+use oc_topology::{ring_iter, NodeId};
 
 use crate::{
     message::{AnswerKind, Msg},
@@ -33,6 +33,14 @@ use crate::{
 pub(crate) struct SearchState {
     /// Current phase = distance of the probed ring.
     pub d: u32,
+    /// The phase this sweep began at. A search may only conclude "I am
+    /// the root" from a sweep that started at ring 1 (see
+    /// [`OpenCubeNode::on_search_phase_timeout`]).
+    pub start: u32,
+    /// Try-later re-probe rounds left at the current phase before the
+    /// postponing members are treated as wedged
+    /// ([`crate::Config::search_patience_rounds`]).
+    pub patience: u32,
     /// Ring members probed and not yet concluded this round.
     pub pending: RingSet,
     /// Ring members that answered "try later" — re-probed next round.
@@ -63,6 +71,7 @@ impl OpenCubeNode {
         // Reuse the spare state's ring buffers instead of allocating.
         let mut state = std::mem::take(&mut self.search_spare);
         state.d = d;
+        state.start = d;
         self.search = Some(state);
         self.run_search_phase(out);
     }
@@ -81,8 +90,10 @@ impl OpenCubeNode {
         let id = self.id_inner();
         let n = self.config_inner().n;
         let timeout = self.config_inner().search_phase_timeout();
+        let patience = self.config_inner().search_patience_rounds();
         let search = self.search.as_mut().expect("phase run requires a search");
         let d = search.d;
+        search.patience = patience;
         search.pending.assign_ring(n, id, d);
         search.pending.fill();
         search.retry.assign_ring(n, id, d);
@@ -104,10 +115,15 @@ impl OpenCubeNode {
         let Some(search) = self.search.as_mut() else {
             return; // stale timer
         };
-        if !search.retry.is_empty() {
+        if !search.retry.is_empty() && search.patience > 0 {
             // Re-probe postponed nodes at the same phase: the retry set
             // becomes the new pending set (same ring, so the buffers just
-            // swap) — no allocation, unlike the old BTreeSet drain.
+            // swap) — no allocation, unlike the old BTreeSet drain. The
+            // patience budget bounds these rounds: members still
+            // postponing after every legitimate backlog would have
+            // drained are treated as wedged and discarded, exactly like
+            // silent members (see `Config::search_patience_rounds`).
+            search.patience -= 1;
             std::mem::swap(&mut search.pending, &mut search.retry);
             search.retry.clear();
             let d = search.d;
@@ -123,11 +139,34 @@ impl OpenCubeNode {
             out.set_timer(TIMER_SEARCH_PHASE, timeout);
             return;
         }
+        search.retry.clear();
         if search.d < pmax {
             search.d += 1;
             self.run_search_phase(out);
+        } else if search.start > 1 {
+            // Phase pmax failed, but this sweep began above ring 1, so it
+            // never probed the lower rings — and "everything closer is my
+            // subtree, so it cannot hold my father or the token" is a
+            // *belief*, not knowledge. Concurrent searches and
+            // b-transformations during crash healing can rotate the live
+            // root into those skipped rings; concluding "root" from a
+            // partial sweep then regenerates a second token while the
+            // real one is alive a ring or two below. The adversarial
+            // explorer found two distinct schedules doing exactly that
+            // (pinned in oc-check's regression tests), so the root
+            // conclusion must be earned with a full sweep: restart from
+            // ring 1. The paper's partial-sweep conclusion (Figures
+            // 13-14) is sound only while power claims are consistent,
+            // which is precisely what degraded regimes violate.
+            self.stats_mut().search_restarts += 1;
+            let search = self.search.as_mut().expect("search still running");
+            search.start = 1;
+            search.d = 1;
+            self.run_search_phase(out);
         } else {
-            // Phase pmax failed: nobody can be our father — become the root.
+            // Ring pmax failed after a full sweep from ring 1: we probed
+            // every node in the system and nobody can be our father —
+            // become the root.
             self.recycle_search();
             self.conclude_search_as_root(out);
         }
@@ -175,9 +214,21 @@ impl OpenCubeNode {
         self.start_search(start, out);
     }
 
-    /// An `anomaly` bounce from our (recovered) father: it cannot serve us;
-    /// search for the true father starting at its distance (Section 5).
-    pub(crate) fn on_anomaly(&mut self, from: NodeId, out: &mut Outbox<Msg>) {
+    /// An `anomaly` bounce: a node our claim reached cannot serve us;
+    /// search for the true father starting above our own position.
+    ///
+    /// In the paper's Section 5 scenario the bouncer is our (recovered)
+    /// stale father, sitting at distance `power + 1` — so starting at its
+    /// distance and starting at `power + 1` coincide (Figure 17 is
+    /// unchanged). But a claim that traveled through proxies can be
+    /// bounced by a *distant non-father*: starting at `dist(self, from)`
+    /// then overshoots, skips the rings between our power and the
+    /// bouncer, and — if those skipped rings held the live root — ends in
+    /// a false root conclusion that mints a duplicate token. The
+    /// adversarial explorer found that schedule; the counterexample is
+    /// pinned in oc-check's regression tests. `power + 1` is the start
+    /// our own (ratified) position justifies.
+    pub(crate) fn on_anomaly(&mut self, _from: NodeId, out: &mut Outbox<Msg>) {
         if !self.fault_tolerant() {
             return;
         }
@@ -188,7 +239,7 @@ impl OpenCubeNode {
         }
         self.stats_mut().anomalies_received += 1;
         out.cancel_timer(TIMER_TOKEN_WAIT);
-        let start = dist(self.id_inner(), from);
+        let start = self.power() + 1;
         self.start_search(start, out);
     }
 
@@ -200,20 +251,41 @@ impl OpenCubeNode {
         }
         if let Some(search) = &self.search {
             let di = search.d;
-            if di > d {
-                // Case di > dj: our power (di - 1) already qualifies us as
-                // the prober's father, and it can only grow.
-                out.send(from, Msg::Answer { kind: AnswerKind::Ok, d });
-            } else if di < d {
+            if di < d {
                 // Case di < dj: the paper's optimization — we will
                 // necessarily conclude father := from; do it now.
-                self.conclude_search_with_father(from, out);
-            } else {
-                // Case di = dj: identity tie-break; the smaller identity
-                // becomes the father of the larger.
-                if self.id_inner() < from {
-                    out.send(from, Msg::Answer { kind: AnswerKind::Ok, d });
+                // Identity-ordered like every searcher-to-searcher
+                // resolution below: only a smaller prober may absorb us;
+                // towards a larger one we stay in charge of our own
+                // sweep and just keep it patient (we cannot promise ok —
+                // our phase does not back power dj - 1 yet).
+                if from < self.id_inner() {
+                    self.conclude_search_with_father(from, out);
+                } else {
+                    out.send(from, Msg::Answer { kind: AnswerKind::TryLater, d });
                 }
+                return;
+            }
+            // Case di >= dj: the paper answers ok whenever di > dj (our
+            // power di-1 already qualifies and "can only grow") and
+            // tie-breaks equal phases by identity. We tighten the
+            // identity order to *every* searcher-to-searcher answer: ok
+            // promises flow only from smaller to larger. The promise "my
+            // power will be di - 1" is only as good as our own search
+            // concluding; under crash healing with several claimants the
+            // explorer drove unrestricted promises into a stable
+            // merry-go-round (every sweep absorbed by another searcher's
+            // promise, nobody ever completing a sweep, the lost token
+            // never regenerated). With promises ordered by identity the
+            // smallest active searcher can never be absorbed: it is the
+            // unique node whose sweep must run to completion, so exactly
+            // one node concludes root and mints. The try-later branch
+            // keeps the larger prober patient instead of silent —
+            // bounded by its patience budget, so stand-offs still break.
+            if self.id_inner() < from {
+                out.send(from, Msg::Answer { kind: AnswerKind::Ok, d });
+            } else {
+                out.send(from, Msg::Answer { kind: AnswerKind::TryLater, d });
             }
             return;
         }
@@ -222,9 +294,14 @@ impl OpenCubeNode {
             // We meet Cor. 2.1's requirements — even while asking, our
             // power cannot decrease upon receiving the token.
             out.send(from, Msg::Answer { kind: AnswerKind::Ok, d });
-        } else if self.is_asking() {
+        } else if self.is_asking() || self.token_here_inner() {
             // Busy: our power could still increase before this request
-            // completes; tell the prober to try again.
+            // completes; tell the prober to try again. Token custody
+            // counts as busy even when we are not asking (a degraded-
+            // regime state): a probed node *holding the token* must never
+            // be discarded as silent, or the searcher concludes the token
+            // is lost and mints a duplicate — the adversarial explorer
+            // caught exactly that silent-holder schedule.
             out.send(from, Msg::Answer { kind: AnswerKind::TryLater, d });
         }
         // Otherwise: stay silent; the prober discards us after 2δ.
@@ -437,36 +514,59 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_search_lower_phase_concludes_immediately() {
-        // Paper's optimization: b in phase 1 receiving test(2) from c
-        // concludes father_b := c at once.
-        let mut b = OpenCubeNode::new(NodeId::new(2), ft_cfg(4));
+    fn concurrent_search_lower_phase_concludes_for_smaller_prober() {
+        // Paper's optimization, identity-ordered: a lower-phase searcher
+        // concludes father := prober at once — but only a *smaller*
+        // prober may absorb it. Node 3 in phase 1 receiving test(2) from
+        // node 2 concludes father_3 := 2 immediately.
+        let cfg = ft_cfg(4);
+        let mut c = OpenCubeNode::new(NodeId::new(3), cfg);
+        c.set_father(Some(NodeId::new(4))); // power 0
+        let _ = drain(&mut c, NodeEvent::RequestCs);
+        let _ = timer(&mut c, TIMER_TOKEN_WAIT); // phase 1
+        assert_eq!(c.search.as_ref().unwrap().d, 1);
+        let actions = deliver(&mut c, 2, Msg::Test { d: 2 });
+        assert!(c.search.is_none());
+        assert_eq!(c.father(), Some(NodeId::new(2)));
+        // And the pending request is regenerated toward the new father.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to, msg: Msg::Request { .. } } if *to == NodeId::new(2)
+        )));
+
+        // The mirror case: node 2 in phase 1 probed by the *larger* node
+        // 3 at phase 2 is NOT absorbed — the smallest active searcher
+        // must stay in charge of its own sweep (otherwise the explorer's
+        // merry-go-round wedges regeneration); it answers try-later so
+        // the larger sweep stays patient.
+        let mut b = OpenCubeNode::new(NodeId::new(2), cfg);
         let _ = drain(&mut b, NodeEvent::RequestCs);
         let _ = timer(&mut b, TIMER_TOKEN_WAIT); // phase 1 (power 0)
         assert_eq!(b.search.as_ref().unwrap().d, 1);
         let actions = deliver(&mut b, 3, Msg::Test { d: 2 });
-        assert!(b.search.is_none());
-        assert_eq!(b.father(), Some(NodeId::new(3)));
-        // And the pending request is regenerated toward c.
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Send { to, msg: Msg::Request { .. } } if *to == NodeId::new(3)
-        )));
+        assert!(b.search.is_some(), "the smaller searcher keeps searching");
+        assert!(matches!(
+            actions[..],
+            [Action::Send { msg: Msg::Answer { kind: AnswerKind::TryLater, d: 2 }, .. }]
+        ));
     }
 
     #[test]
     fn concurrent_search_tie_breaks_by_identity() {
         // Two searchers at the same phase: the smaller identity claims
-        // fatherhood; the larger stays silent (Section 5, case di = dj).
-        // Node 2 searching at phase 1 receives test(1) from node 1:
-        // 2 > 1, so node 2 must NOT answer.
+        // fatherhood (Section 5, case di = dj); the larger answers
+        // try-later (not ok — and not silence, which the prober could
+        // not tell from a crash).
         let cfg = ft_cfg(4);
         let mut larger = OpenCubeNode::new(NodeId::new(2), cfg);
         let _ = drain(&mut larger, NodeEvent::RequestCs);
         let _ = timer(&mut larger, TIMER_TOKEN_WAIT); // phase 1 (power 0)
         assert_eq!(larger.search.as_ref().unwrap().d, 1);
         let actions = deliver(&mut larger, 1, Msg::Test { d: 1 });
-        assert!(actions.is_empty(), "the larger identity stays silent in a tie");
+        assert!(matches!(
+            actions[..],
+            [Action::Send { msg: Msg::Answer { kind: AnswerKind::TryLater, d: 1 }, .. }]
+        ));
 
         // Node 3 forced to power 0 (father := 4), searching at phase 1,
         // receives test(1) from node 4: 3 < 4, so node 3 answers ok.

@@ -18,8 +18,8 @@
 //! rejected with a usage message.
 
 use oc_bench::{
-    bench_artifact, e1_sweep, e2_sweep, e3_cells, e3_summaries, e3_sweep, e4_average_sweep,
-    e4_sweep, e5_sweep, e6_sweep, e7_cells, e7_sweep, json, render_figure_tree,
+    bench_artifact, cli::FlagParser, e1_sweep, e2_sweep, e3_cells, e3_summaries, e3_sweep,
+    e4_average_sweep, e4_sweep, e5_sweep, e6_sweep, e7_cells, e7_sweep, json, render_figure_tree,
     sweep::SweepOutcome, E1Row, E2Row, E3Row, E3Summary, E4Average, E4Row, E5Row, E6Row, E7Row,
 };
 
@@ -59,11 +59,6 @@ struct Options {
 
 const SELECTABLE: [&str; 8] = ["figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7"];
 
-fn usage_error(message: &str) -> ! {
-    eprintln!("error: {message}\n\n{USAGE}");
-    std::process::exit(2)
-}
-
 fn parse_options(args: &[String]) -> Options {
     let mut options = Options {
         quick: false,
@@ -73,30 +68,21 @@ fn parse_options(args: &[String]) -> Options {
         master_seed: 42,
         selected: Vec::new(),
     };
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        let (flag, inline_value) = match arg.split_once('=') {
-            Some((flag, value)) => (flag, Some(value.to_string())),
-            None => (arg.as_str(), None),
-        };
-        let mut take_value = |what: &str| -> String {
-            inline_value.clone().or_else(|| iter.next().cloned()).unwrap_or_else(|| {
-                usage_error(&format!("{flag} requires a value ({what})"));
-            })
-        };
-        match flag {
+    let mut parser = FlagParser::new(USAGE, args);
+    while let Some(flag) = parser.next_flag() {
+        match flag.name.as_str() {
             "--threads" => {
-                let value = take_value("a positive integer");
+                let value = parser.value(&flag, "a positive integer");
                 options.threads = value.parse().ok().filter(|&t| t > 0).unwrap_or_else(|| {
-                    usage_error(&format!("invalid --threads value: {value:?}"));
+                    parser.usage_error(&format!("invalid --threads value: {value:?}"));
                 });
                 options.threads_explicit = true;
                 continue;
             }
             "--seed" => {
-                let value = take_value("an unsigned integer");
+                let value = parser.value(&flag, "an unsigned integer");
                 options.master_seed = value.parse().unwrap_or_else(|_| {
-                    usage_error(&format!("invalid --seed value: {value:?}"));
+                    parser.usage_error(&format!("invalid --seed value: {value:?}"));
                 });
                 continue;
             }
@@ -104,19 +90,17 @@ fn parse_options(args: &[String]) -> Options {
         }
         // Every remaining flag is valueless: an inline `=value` (say
         // `--quick=false`) must be rejected, not silently discarded.
-        if inline_value.is_some() {
-            usage_error(&format!("{flag} does not take a value (got {arg:?})"));
-        }
-        match flag {
+        parser.no_value(&flag);
+        match flag.name.as_str() {
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
             "--quick" => options.quick = true,
             "--json" => options.json = true,
-            _ => match SELECTABLE.iter().find(|name| flag == format!("--{name}")) {
-                Some(name) => options.selected.push(name),
-                None => usage_error(&format!("unknown flag: {arg:?}")),
+            name => match SELECTABLE.iter().find(|sel| name == format!("--{sel}")) {
+                Some(sel) => options.selected.push(sel),
+                None => parser.usage_error(&format!("unknown flag: {:?}", flag.raw)),
             },
         }
     }

@@ -1,0 +1,344 @@
+//! Adversarial scenario exploration, sharded across worker threads.
+//!
+//! ```text
+//! cargo run --release -p oc-bench --bin explore                       # 1000 scenarios
+//! cargo run --release -p oc-bench --bin explore -- --budget 2000     # CI battery
+//! cargo run --release -p oc-bench --bin explore -- --threads 2       # shard
+//! cargo run --release -p oc-bench --bin explore -- --json            # BENCH_CHECK.json
+//! cargo run --release -p oc-bench --bin explore -- --loss            # model-violating loss
+//! ```
+//!
+//! Each scenario index is one `oc_bench::sweep` cell: a worker derives
+//! the scenario from `(space, master seed, index)`, runs it through the
+//! deterministic engine, and judges it with the full oracle suite
+//! (safety + liveness). Results return in cell order, so the `summary`
+//! line and the JSON aggregates are **byte-identical at any
+//! `--threads`** — CI pins that. On a violation the first failing
+//! scenario (lowest index) is shrunk to a minimal counterexample and
+//! printed as a replayable scenario ID plus a paste-ready Rust repro;
+//! the process then exits 1.
+//!
+//! `--loss` opts into lossy-window scenarios. Message loss between live
+//! nodes violates the reliable-channel assumption the algorithm's safety
+//! argument needs, so a lossy battery is an oracle-sensitivity probe —
+//! violations there are expected findings, not regressions (see
+//! DESIGN.md, "Fault model soundness").
+
+use oc_bench::{cli::FlagParser, json, sweep};
+use oc_check::{repro_snippet, run_scenario, shrink, Scenario, Space};
+
+const USAGE: &str = "\
+Usage: explore [FLAGS]
+
+Explores randomly generated crash/delay/fault scenarios against the
+safety and liveness oracle suite, sharded across worker threads.
+
+  --budget N    scenarios to explore (default: 1000)
+  --seed S      master seed the per-scenario seeds derive from (default: 42)
+  --threads N   sweep worker threads (default: all cores; any N gives a
+                byte-identical summary)
+  --loss        also sample message-loss windows (violates the paper's
+                reliable-channel model: violations become expected
+                findings and do not fail the exit code)
+  --hard        also sample overlapping crash waves (outside the paper's
+                repeated-single-failure model: violations become expected
+                findings and do not fail the exit code)
+  --json        write BENCH_CHECK.json
+  --help        this message
+";
+
+struct Options {
+    budget: u64,
+    master_seed: u64,
+    threads: usize,
+    loss: bool,
+    hard: bool,
+    json: bool,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut options = Options {
+        budget: 1_000,
+        master_seed: 42,
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        loss: false,
+        hard: false,
+        json: false,
+    };
+    let mut parser = FlagParser::new(USAGE, args);
+    while let Some(flag) = parser.next_flag() {
+        match flag.name.as_str() {
+            "--budget" => {
+                let value = parser.value(&flag, "a positive integer");
+                options.budget = value.parse().ok().filter(|&b| b > 0).unwrap_or_else(|| {
+                    parser.usage_error(&format!("invalid --budget value: {value:?}"));
+                });
+                continue;
+            }
+            "--seed" => {
+                let value = parser.value(&flag, "an unsigned integer");
+                options.master_seed = value.parse().unwrap_or_else(|_| {
+                    parser.usage_error(&format!("invalid --seed value: {value:?}"));
+                });
+                continue;
+            }
+            "--threads" => {
+                let value = parser.value(&flag, "a positive integer");
+                options.threads = value.parse().ok().filter(|&t| t > 0).unwrap_or_else(|| {
+                    parser.usage_error(&format!("invalid --threads value: {value:?}"));
+                });
+                continue;
+            }
+            _ => {}
+        }
+        parser.no_value(&flag);
+        match flag.name.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--loss" => options.loss = true,
+            "--hard" => options.hard = true,
+            "--json" => options.json = true,
+            _ => parser.usage_error(&format!("unknown flag: {:?}", flag.raw)),
+        }
+    }
+    options
+}
+
+/// Everything the aggregation needs from one scenario run — small, so the
+/// sweep's restored-order result vector stays cheap.
+struct Cell {
+    n: usize,
+    fingerprint: u64,
+    clean: bool,
+    violations: u64,
+    events: u64,
+    messages: u64,
+    cs_entries: u64,
+    crashes: u64,
+    recoveries: u64,
+    lost_to_faults: u64,
+    duplicated: u64,
+}
+
+/// Per-size aggregate — the compact `rows` of `BENCH_CHECK.json`.
+#[derive(Default)]
+struct SizeAgg {
+    scenarios: u64,
+    events: u64,
+    messages: u64,
+    cs_entries: u64,
+    crashes: u64,
+    recoveries: u64,
+    lost_to_faults: u64,
+    duplicated: u64,
+    violations: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_options(&args);
+    let space =
+        Space { allow_loss: options.loss, overlapping_crashes: options.hard, ..Space::default() };
+
+    println!(
+        "== explore: {} scenario(s), master seed {}, loss {}, hard {} ==\n",
+        options.budget,
+        options.master_seed,
+        if options.loss { "on" } else { "off" },
+        if options.hard { "on" } else { "off" },
+    );
+    let indices: Vec<u64> = (0..options.budget).collect();
+    let outcome = sweep::sweep(&indices, options.threads, |_, &index| {
+        let scenario = Scenario::generate(&space, options.master_seed, index);
+        let run = run_scenario(&scenario, oc_algo::Mutation::None);
+        Cell {
+            n: scenario.n,
+            fingerprint: run.fingerprint(),
+            clean: run.is_clean(),
+            violations: run.violation_count() as u64,
+            events: run.events,
+            messages: run.messages,
+            cs_entries: run.cs_entries,
+            crashes: run.crashes,
+            recoveries: run.recoveries,
+            lost_to_faults: run.lost_to_faults,
+            duplicated: run.duplicated,
+        }
+    });
+
+    // Aggregate in cell order: byte-identical at any thread count.
+    let mut by_size: std::collections::BTreeMap<usize, SizeAgg> = std::collections::BTreeMap::new();
+    let mut fold = oc_sim::Fnv64::new();
+    let mut failures: Vec<u64> = Vec::new();
+    for (index, cell) in outcome.results.iter().enumerate() {
+        fold.write_u64(cell.fingerprint);
+        let agg = by_size.entry(cell.n).or_default();
+        agg.scenarios += 1;
+        agg.events += cell.events;
+        agg.messages += cell.messages;
+        agg.cs_entries += cell.cs_entries;
+        agg.crashes += cell.crashes;
+        agg.recoveries += cell.recoveries;
+        agg.lost_to_faults += cell.lost_to_faults;
+        agg.duplicated += cell.duplicated;
+        agg.violations += cell.violations;
+        if !cell.clean {
+            failures.push(index as u64);
+        }
+    }
+
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>7} {:>6} {:>10}",
+        "N",
+        "scenarios",
+        "events",
+        "messages",
+        "cs",
+        "crashes",
+        "recover",
+        "lost",
+        "dup",
+        "violations"
+    );
+    for (n, agg) in &by_size {
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>7} {:>6} {:>10}",
+            n,
+            agg.scenarios,
+            agg.events,
+            agg.messages,
+            agg.cs_entries,
+            agg.crashes,
+            agg.recoveries,
+            agg.lost_to_faults,
+            agg.duplicated,
+            agg.violations,
+        );
+    }
+    let fingerprint = fold.finish();
+    let totals = |pick: fn(&SizeAgg) -> u64| by_size.values().map(pick).sum::<u64>();
+    let total_violations = totals(|agg| agg.violations);
+
+    // The thread-invariant one-line summary CI compares byte-for-byte
+    // across `--threads` values (no wall-clock terms on purpose).
+    println!(
+        "\nsummary budget={} seed={} loss={} hard={} scenarios={} failures={} violations={} \
+         events={} messages={} cs={} crashes={} recoveries={} lost={} dup={} \
+         fingerprint={fingerprint:#018x}",
+        options.budget,
+        options.master_seed,
+        u8::from(options.loss),
+        u8::from(options.hard),
+        outcome.results.len(),
+        failures.len(),
+        total_violations,
+        totals(|agg| agg.events),
+        totals(|agg| agg.messages),
+        totals(|agg| agg.cs_entries),
+        totals(|agg| agg.crashes),
+        totals(|agg| agg.recoveries),
+        totals(|agg| agg.lost_to_faults),
+        totals(|agg| agg.duplicated),
+    );
+    println!(
+        "   [{} cells on {} thread(s): {:.2}s wall, {:.2}s busy, speedup {:.2}x]",
+        outcome.results.len(),
+        outcome.threads,
+        outcome.wall_secs,
+        outcome.busy_secs,
+        outcome.speedup(),
+    );
+
+    // Shrink the first failure (lowest index) to a minimal, replayable
+    // counterexample before reporting.
+    let shrunk = failures.first().map(|&index| {
+        let scenario = Scenario::generate(&space, options.master_seed, index);
+        println!("\n!! scenario #{index} fails — shrinking…");
+        let result = shrink(&scenario, oc_algo::Mutation::None);
+        println!(
+            "   minimal after {} step(s) / {} run(s): n={}, {} arrival(s), {} crash(es)",
+            result.steps,
+            result.runs,
+            result.scenario.n,
+            result.scenario.arrivals.len(),
+            result.scenario.crashes.len(),
+        );
+        println!("   scenario id: {}", result.scenario.id());
+        for violation in result.outcome.safety.violations() {
+            println!("   safety violation: {violation:?}");
+        }
+        for violation in result.outcome.liveness.violations() {
+            println!("   liveness violation: {violation:?}");
+        }
+        println!(
+            "\n-- paste-ready repro --\n{}",
+            repro_snippet(&result.scenario, oc_algo::Mutation::None)
+        );
+        (index, result)
+    });
+
+    if options.json {
+        let rows = by_size
+            .iter()
+            .map(|(n, agg)| {
+                json::Value::Obj(vec![
+                    ("n", json::Value::UInt(*n as u64)),
+                    ("scenarios", json::Value::UInt(agg.scenarios)),
+                    ("events", json::Value::UInt(agg.events)),
+                    ("messages", json::Value::UInt(agg.messages)),
+                    ("cs_entries", json::Value::UInt(agg.cs_entries)),
+                    ("crashes", json::Value::UInt(agg.crashes)),
+                    ("recoveries", json::Value::UInt(agg.recoveries)),
+                    ("lost_to_faults", json::Value::UInt(agg.lost_to_faults)),
+                    ("duplicated_deliveries", json::Value::UInt(agg.duplicated)),
+                    ("violations", json::Value::UInt(agg.violations)),
+                ])
+            })
+            .collect();
+        let failure_values = shrunk
+            .iter()
+            .map(|(index, result)| {
+                json::Value::Obj(vec![
+                    ("index", json::Value::UInt(*index)),
+                    ("scenario_id", json::Value::str(result.scenario.id())),
+                    ("violations", json::Value::UInt(result.outcome.violation_count() as u64)),
+                ])
+            })
+            .collect();
+        let extra = vec![
+            ("budget", json::Value::UInt(options.budget)),
+            ("loss", json::Value::Bool(options.loss)),
+            ("hard", json::Value::Bool(options.hard)),
+            ("failures", json::Value::UInt(failures.len() as u64)),
+            ("violations", json::Value::UInt(total_violations)),
+            ("fingerprint", json::Value::str(format!("{fingerprint:#018x}"))),
+            ("shrunk_failures", json::Value::Arr(failure_values)),
+        ];
+        let doc =
+            oc_bench::bench_artifact("check", options.master_seed, false, &outcome, rows, extra);
+        let path = std::path::Path::new("BENCH_CHECK.json");
+        match doc.write_file(path) {
+            Ok(()) => println!("   wrote BENCH_CHECK.json"),
+            Err(err) => {
+                eprintln!("error: could not write BENCH_CHECK.json: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !failures.is_empty() {
+        if options.loss || options.hard {
+            // Probe modes step outside the paper's model on purpose:
+            // violations there are expected findings, reported above but
+            // not a failing exit — only the default battery is a gate.
+            println!(
+                "\n{} failing scenario(s): expected findings in probe mode (loss/hard)",
+                failures.len()
+            );
+        } else {
+            std::process::exit(1);
+        }
+    }
+}

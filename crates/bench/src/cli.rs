@@ -1,0 +1,67 @@
+//! Flag parsing shared by the `experiments` and `explore` binaries.
+//!
+//! Both CLIs follow the same contract — `--flag value` or `--flag=value`
+//! forms, valueless flags reject an inline `=value`, and any parse error
+//! prints the binary's usage text and exits 2 (pinned by CI's
+//! unknown-flag smoke). Keeping the scaffolding here means a fix to one
+//! binary's parsing cannot silently miss the other.
+
+/// One parsed command-line flag: its name and the optional inline
+/// `=value` payload.
+#[derive(Debug, Clone)]
+pub struct Flag {
+    /// The flag name (up to the `=`, if any).
+    pub name: String,
+    /// The argument exactly as given (for error messages).
+    pub raw: String,
+    inline: Option<String>,
+}
+
+/// An iterator-style parser over `argv` with the shared error contract.
+#[derive(Debug)]
+pub struct FlagParser<'a> {
+    usage: &'static str,
+    iter: std::slice::Iter<'a, String>,
+}
+
+impl<'a> FlagParser<'a> {
+    /// Parses `args` (without the program name), reporting errors against
+    /// `usage`.
+    #[must_use]
+    pub fn new(usage: &'static str, args: &'a [String]) -> Self {
+        FlagParser { usage, iter: args.iter() }
+    }
+
+    /// Prints `message` plus the usage text and exits 2.
+    pub fn usage_error(&self, message: &str) -> ! {
+        eprintln!("error: {message}\n\n{}", self.usage);
+        std::process::exit(2)
+    }
+
+    /// The next flag, split into name and optional inline value.
+    pub fn next_flag(&mut self) -> Option<Flag> {
+        let arg = self.iter.next()?;
+        let (name, inline) = match arg.split_once('=') {
+            Some((name, value)) => (name.to_string(), Some(value.to_string())),
+            None => (arg.clone(), None),
+        };
+        Some(Flag { name, raw: arg.clone(), inline })
+    }
+
+    /// The flag's value: inline (`--flag=v`) or the next argument
+    /// (`--flag v`). Missing values are a usage error (`what` describes
+    /// the expected shape).
+    pub fn value(&mut self, flag: &Flag, what: &str) -> String {
+        flag.inline.clone().or_else(|| self.iter.next().cloned()).unwrap_or_else(|| {
+            self.usage_error(&format!("{} requires a value ({what})", flag.name));
+        })
+    }
+
+    /// Rejects an inline `=value` on a valueless flag (`--quick=false`
+    /// must fail loudly, not silently discard the payload).
+    pub fn no_value(&self, flag: &Flag) {
+        if flag.inline.is_some() {
+            self.usage_error(&format!("{} does not take a value (got {:?})", flag.name, flag.raw));
+        }
+    }
+}

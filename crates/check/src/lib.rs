@@ -1,0 +1,141 @@
+//! # oc-check — adversarial scenario explorer
+//!
+//! The paper's claim is *fault tolerance*: mutual exclusion and eventual
+//! CS entry must survive **any** crash/delay interleaving, not just the
+//! hand-written schedules in `tests/`. This crate cashes that claim in as
+//! a seeded fuzz/model-check harness over the deterministic simulator:
+//!
+//! 1. **Generate** — [`Scenario::generate`] derives a complete, concrete
+//!    scenario (system size, delay envelope, workload arrivals,
+//!    crash/recovery plan, link faults) from a `(space, master seed,
+//!    index)` triple. Everything is materialized: a scenario is plain
+//!    data, independent of the generator that produced it.
+//! 2. **Run** — [`run_scenario`] plays the scenario through
+//!    [`oc_sim::World`] and returns an [`Outcome`]: the safety oracle's
+//!    report, the liveness oracle's report
+//!    ([`oc_sim::check_liveness`]), and the run's headline counters. Equal
+//!    scenarios produce equal outcomes, bit for bit.
+//! 3. **Shrink** — on failure, [`shrink`] greedily minimizes the scenario
+//!    (drop crash events, truncate the workload, halve the system, strip
+//!    faults), re-running the pure `(scenario, mutation)` function at
+//!    every step, until no single reduction still fails.
+//! 4. **Replay** — [`Scenario::id`] encodes the whole scenario into a
+//!    portable `oc1-…` string; [`Scenario::from_id`] decodes it.
+//!    [`repro_snippet`] renders a minimal Rust test reproducing the
+//!    failure from the ID alone.
+//!
+//! The explorer must also *prove its own teeth*: [`oc_algo::Mutation`]
+//! plants single protocol bugs (skipped token regeneration, a kept token
+//! on transit), and the self-check tests assert a bounded seed budget
+//! finds, shrinks, and byte-identically replays a counterexample for each.
+//!
+//! Sharded exploration (thousands of scenarios across threads) lives in
+//! the `explore` binary of `oc-bench`, which drives this crate through
+//! `oc_bench::sweep`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod run;
+mod scenario;
+mod shrink;
+
+pub use run::{run_scenario, Outcome};
+pub use scenario::{Scenario, ScenarioCrash, Space};
+pub use shrink::{shrink, ShrinkResult};
+
+use oc_algo::Mutation;
+
+/// Derives the i-th scenario seed from a master seed: a splitmix64
+/// finalizer over the golden-ratio-scrambled index, the same construction
+/// as `oc_bench::sweep::derive_seed` (duplicated here because `oc-bench`
+/// depends on this crate, not the other way around).
+#[must_use]
+pub fn scenario_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One failing scenario found by exploration.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The scenario's index within the exploration budget.
+    pub index: u64,
+    /// The generated (un-shrunk) scenario.
+    pub scenario: Scenario,
+    /// Its oracle verdict.
+    pub outcome: Outcome,
+}
+
+/// Explores `budget` scenarios serially and returns the first failure, if
+/// any. The sharded equivalent (same scenarios, any thread count) is the
+/// `explore` binary in `oc-bench`; this entry point exists for tests and
+/// for shrinking, which is inherently sequential.
+#[must_use]
+pub fn explore_serial(
+    space: &Space,
+    master_seed: u64,
+    budget: u64,
+    mutation: Mutation,
+) -> Option<Failure> {
+    for index in 0..budget {
+        let scenario = Scenario::generate(space, master_seed, index);
+        let outcome = run_scenario(&scenario, mutation);
+        if !outcome.is_clean() {
+            return Some(Failure { index, scenario, outcome });
+        }
+    }
+    None
+}
+
+/// Renders a minimal, self-contained Rust repro for a failing scenario:
+/// decode the ID, run, assert clean. Paste it into any test module with
+/// `oc-check` and `oc-algo` available.
+#[must_use]
+pub fn repro_snippet(scenario: &Scenario, mutation: Mutation) -> String {
+    format!(
+        "#[test]\n\
+         fn shrunk_counterexample_replays() {{\n\
+         \x20   // Scenario ID is the complete scenario: n={n}, {arrivals} arrival(s), \
+         {crashes} crash(es).\n\
+         \x20   let scenario = oc_check::Scenario::from_id(\n\
+         \x20       \"{id}\",\n\
+         \x20   )\n\
+         \x20   .expect(\"valid scenario id\");\n\
+         \x20   let outcome = oc_check::run_scenario(&scenario, oc_algo::Mutation::{mutation:?});\n\
+         \x20   assert!(outcome.is_clean(), \"violations: {{outcome:?}}\");\n\
+         }}\n",
+        n = scenario.n,
+        arrivals = scenario.arrivals.len(),
+        crashes = scenario.crashes.len(),
+        id = scenario.id(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_seeds_are_stable_and_distinct() {
+        assert_eq!(scenario_seed(42, 0), scenario_seed(42, 0));
+        assert_ne!(scenario_seed(42, 0), scenario_seed(42, 1));
+        assert_ne!(scenario_seed(42, 7), scenario_seed(43, 7));
+        let mut seen = std::collections::BTreeSet::new();
+        for index in 0..4_096 {
+            assert!(seen.insert(scenario_seed(42, index)), "collision at {index}");
+        }
+    }
+
+    #[test]
+    fn repro_snippet_contains_the_id_and_mutation() {
+        let scenario = Scenario::generate(&Space::default(), 1, 0);
+        let text = repro_snippet(&scenario, Mutation::SkipTokenRegeneration);
+        assert!(text.contains(&scenario.id()));
+        assert!(text.contains("Mutation::SkipTokenRegeneration"));
+        assert!(text.contains("oc_check::run_scenario"));
+    }
+}

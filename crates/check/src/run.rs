@@ -1,0 +1,218 @@
+//! Playing one scenario through the deterministic engine and judging it.
+
+use oc_algo::{Config, Mutation, OpenCubeNode};
+use oc_sim::{
+    check_liveness, DelayModel, LinkFaults, LivenessReport, OracleReport, SimConfig, SimDuration,
+    SimTime, World,
+};
+use oc_topology::NodeId;
+
+use crate::scenario::Scenario;
+
+/// The oracle verdict and headline counters of one scenario run.
+///
+/// Equal scenarios produce equal outcomes — `PartialEq` over the whole
+/// struct is the "replays byte-identically" check, and
+/// [`Outcome::fingerprint`] folds it into one `u64` for aggregate
+/// summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// `true` if the run reached quiescence under its event cap.
+    pub drained: bool,
+    /// Events processed.
+    pub events: u64,
+    /// Protocol messages sent.
+    pub messages: u64,
+    /// Critical sections completed.
+    pub cs_entries: u64,
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Recoveries injected.
+    pub recoveries: u64,
+    /// Requests abandoned by crashes of their node.
+    pub abandoned: u64,
+    /// Messages dropped by the loss fault.
+    pub lost_to_faults: u64,
+    /// Extra deliveries injected by the duplication fault.
+    pub duplicated: u64,
+    /// The safety oracle's report (mutual exclusion, token uniqueness).
+    pub safety: OracleReport,
+    /// The liveness oracle's report (starvation, token loss, stuck nodes).
+    pub liveness: LivenessReport,
+}
+
+impl Outcome {
+    /// `true` if every safety and liveness oracle passed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.safety.is_clean() && self.liveness.is_clean()
+    }
+
+    /// Total violations, both kinds.
+    #[must_use]
+    pub fn violation_count(&self) -> usize {
+        self.safety.violations().len() + self.liveness.violations().len()
+    }
+
+    /// A stable 64-bit FNV-1a fingerprint of the outcome (counters plus
+    /// the debug rendering of every violation). Two runs of the same
+    /// scenario in the same build produce the same fingerprint, whatever
+    /// thread ran them — the explorer's summary folds these.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = oc_sim::Fnv64::new();
+        hash.write(&[u8::from(self.drained)]);
+        for word in [
+            self.events,
+            self.messages,
+            self.cs_entries,
+            self.crashes,
+            self.recoveries,
+            self.abandoned,
+            self.lost_to_faults,
+            self.duplicated,
+        ] {
+            hash.write_u64(word);
+        }
+        for violation in self.safety.violations() {
+            hash.write(format!("{violation:?}").as_bytes());
+        }
+        for violation in self.liveness.violations() {
+            hash.write(format!("{violation:?}").as_bytes());
+        }
+        hash.finish()
+    }
+}
+
+/// Runs one scenario to quiescence and returns its oracle verdict — a
+/// pure function of `(scenario, mutation)`.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario, mutation: Mutation) -> Outcome {
+    let cfg = Config::new(
+        scenario.n,
+        SimDuration::from_ticks(scenario.delay_max),
+        SimDuration::from_ticks(scenario.cs_ticks),
+    )
+    .with_contention_slack(SimDuration::from_ticks(scenario.contention_slack))
+    .with_mutation(mutation);
+    let sim = SimConfig {
+        delay: DelayModel::Uniform {
+            min: SimDuration::from_ticks(scenario.delay_min),
+            max: SimDuration::from_ticks(scenario.delay_max),
+        },
+        cs_duration: SimDuration::from_ticks(scenario.cs_ticks),
+        seed: scenario.seed,
+        record_trace: false,
+        max_events: scenario.max_events,
+        faults: LinkFaults {
+            window_from: SimTime::from_ticks(scenario.lossy_from),
+            window_until: SimTime::from_ticks(scenario.lossy_until),
+            loss_per_mille: scenario.loss_per_mille,
+            duplicate_per_mille: scenario.duplicate_per_mille,
+        },
+        ..SimConfig::default()
+    };
+    let mut world = World::new(sim, OpenCubeNode::build_all(cfg));
+    for (at, node) in &scenario.arrivals {
+        world.schedule_request(SimTime::from_ticks(*at), NodeId::new(*node));
+    }
+    world.schedule_failures(&scenario.failure_plan());
+    let drained = world.run_to_quiescence();
+    let liveness = check_liveness(&world, drained);
+    let metrics = world.metrics();
+    Outcome {
+        drained,
+        events: metrics.events_processed,
+        messages: metrics.total_sent(),
+        cs_entries: metrics.cs_entries,
+        crashes: metrics.crashes,
+        recoveries: metrics.recoveries,
+        abandoned: metrics.requests_abandoned,
+        lost_to_faults: metrics.lost_to_faults,
+        duplicated: metrics.duplicated_deliveries,
+        safety: world.oracle_report().clone(),
+        liveness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioCrash, Space};
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            n: 4,
+            seed: 1,
+            delay_min: 1,
+            delay_max: 10,
+            cs_ticks: 50,
+            contention_slack: 2_000,
+            max_events: 1_000_000,
+            lossy_from: 0,
+            lossy_until: 0,
+            loss_per_mille: 0,
+            duplicate_per_mille: 0,
+            arrivals: vec![(1, 2), (3, 3), (5, 4)],
+            crashes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_scenario_is_clean() {
+        let outcome = run_scenario(&tiny_scenario(), Mutation::None);
+        assert!(outcome.drained);
+        assert!(outcome.is_clean(), "violations: {outcome:?}");
+        assert_eq!(outcome.cs_entries, 3);
+        assert_eq!(outcome.violation_count(), 0);
+    }
+
+    #[test]
+    fn outcomes_replay_byte_identically() {
+        let scenario = Scenario::generate(&Space::default(), 9, 5);
+        let a = run_scenario(&scenario, Mutation::None);
+        let b = run_scenario(&scenario, Mutation::None);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn planted_safety_bug_is_caught() {
+        // A transit grant happens in nearly any multi-node run; the kept
+        // token violates uniqueness immediately.
+        let outcome = run_scenario(&tiny_scenario(), Mutation::KeepTokenOnTransit);
+        assert!(!outcome.safety.is_clean(), "expected a token-duplication violation");
+    }
+
+    #[test]
+    fn planted_liveness_bug_is_caught() {
+        // Node 2 borrows the token (direct loan from root 1) and crashes
+        // inside the CS; the mutated lender concludes the loss but never
+        // regenerates. With no other claimant the wedge is silent — the
+        // stuck-node oracle must catch it at quiescence.
+        let scenario = Scenario {
+            arrivals: vec![(1, 2)],
+            crashes: vec![ScenarioCrash { node: 2, at: 30, recover_at: None }],
+            ..tiny_scenario()
+        };
+        let outcome = run_scenario(&scenario, Mutation::SkipTokenRegeneration);
+        assert!(outcome.drained, "the silent wedge quiesces — timers are disarmed");
+        assert!(!outcome.liveness.is_clean(), "expected a stuck-node violation");
+        // The same scenario is clean without the mutation.
+        let healthy = run_scenario(&scenario, Mutation::None);
+        assert!(healthy.is_clean(), "violations: {healthy:?}");
+
+        // With a second claimant queued behind the wedge, the node's
+        // re-search cycle spins forever instead: the horizon-exhaustion
+        // oracle catches that flavor.
+        let noisy = Scenario {
+            arrivals: vec![(1, 2), (10, 3)],
+            crashes: vec![ScenarioCrash { node: 2, at: 30, recover_at: None }],
+            max_events: 100_000,
+            ..tiny_scenario()
+        };
+        let outcome = run_scenario(&noisy, Mutation::SkipTokenRegeneration);
+        assert!(!outcome.liveness.is_clean(), "expected horizon exhaustion");
+        assert!(run_scenario(&noisy, Mutation::None).is_clean());
+    }
+}

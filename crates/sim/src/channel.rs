@@ -8,7 +8,7 @@
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// How per-message network delays are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +54,67 @@ impl Default for DelayModel {
     }
 }
 
+/// Link-level fault injection *between live nodes*, beyond the paper's
+/// model.
+///
+/// The paper assumes reliable channels: a message is destroyed only when
+/// its destination crashes. These faults deliberately step outside that
+/// assumption so the adversarial explorer (`oc-check`) can probe how the
+/// protocol degrades — and prove the oracles notice when it does:
+///
+/// * **Loss** drops a message on the wire during the `[window_from,
+///   window_until)` window with probability `loss_per_mille`/1000. A
+///   dropped token-carrying message destroys the token exactly as a
+///   crashed carrier would; the Section 5 machinery (loan enquiry,
+///   `search_father`, regeneration) is what restores it. Loss *violates*
+///   the reliable-channel assumption the safety argument rests on, so
+///   clean runs are not guaranteed — see DESIGN.md ("Fault model
+///   soundness").
+/// * **Duplicate delivery** enqueues a second, independently delayed copy
+///   of a message with probability `duplicate_per_mille`/1000 inside the
+///   same window. Token-carrying messages are never duplicated: a wire
+///   duplicate of the token is indistinguishable from real token
+///   duplication, which any transport for a token algorithm must prevent
+///   (one sequence number suffices) — modeled here as exactly-once for
+///   tokens, at-least-once for everything else.
+///
+/// The default ([`LinkFaults::none`]) injects nothing and draws no
+/// randomness, so traces and golden hashes of existing configurations are
+/// byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Start of the faulty window (inclusive).
+    pub window_from: SimTime,
+    /// End of the faulty window (exclusive).
+    pub window_until: SimTime,
+    /// Per-message loss probability inside the window, in 1/1000 units.
+    pub loss_per_mille: u16,
+    /// Per-message duplication probability inside the window, in 1/1000
+    /// units (token-carrying messages are exempt, see above).
+    pub duplicate_per_mille: u16,
+}
+
+impl LinkFaults {
+    /// No faults — the reliable-channel model of the paper.
+    #[must_use]
+    pub fn none() -> Self {
+        LinkFaults::default()
+    }
+
+    /// `true` if this configuration can ever inject a fault.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        (self.loss_per_mille > 0 || self.duplicate_per_mille > 0)
+            && self.window_from < self.window_until
+    }
+
+    /// `true` while `now` lies inside the faulty window.
+    #[must_use]
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.enabled() && now >= self.window_from && now < self.window_until
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +145,42 @@ mod tests {
         }
         assert!(seen.len() > 3, "uniform model should vary");
         assert_eq!(m.delta(), SimDuration::from_ticks(9));
+    }
+
+    #[test]
+    fn link_faults_default_is_inert() {
+        let f = LinkFaults::none();
+        assert!(!f.enabled());
+        assert!(!f.active_at(SimTime::ZERO));
+        assert_eq!(f, LinkFaults::default());
+    }
+
+    #[test]
+    fn link_faults_window_bounds_are_half_open() {
+        let f = LinkFaults {
+            window_from: SimTime::from_ticks(10),
+            window_until: SimTime::from_ticks(20),
+            loss_per_mille: 100,
+            duplicate_per_mille: 0,
+        };
+        assert!(f.enabled());
+        assert!(!f.active_at(SimTime::from_ticks(9)));
+        assert!(f.active_at(SimTime::from_ticks(10)));
+        assert!(f.active_at(SimTime::from_ticks(19)));
+        assert!(!f.active_at(SimTime::from_ticks(20)));
+    }
+
+    #[test]
+    fn link_faults_need_both_rate_and_window() {
+        // A rate without a window, or a window without a rate, stays inert.
+        let no_window = LinkFaults { loss_per_mille: 500, ..LinkFaults::none() };
+        assert!(!no_window.enabled());
+        let no_rate = LinkFaults {
+            window_from: SimTime::ZERO,
+            window_until: SimTime::from_ticks(100),
+            ..LinkFaults::none()
+        };
+        assert!(!no_rate.enabled());
     }
 
     #[test]

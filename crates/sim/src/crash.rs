@@ -60,6 +60,11 @@ impl FailurePlan {
     /// This is the shape of the paper's iPSC/2 experiment: repeated single
     /// failures under load (300 failures at N=32, 200 at N=64). Keeping one
     /// `spare` node alive guarantees the system never loses all nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`: with a single node the spare is the only
+    /// candidate, so the rejection loop could never pick a victim.
     pub fn random_singles<R: Rng + ?Sized>(
         rng: &mut R,
         n: usize,
@@ -70,6 +75,11 @@ impl FailurePlan {
         downtime: SimDuration,
     ) -> Self {
         assert!(downtime < period, "downtime must fit within the period");
+        assert!(
+            n >= 2,
+            "random_singles needs n >= 2: with n = 1 every candidate is the \
+             spare and the rejection loop would never terminate"
+        );
         let mut plan = FailurePlan::none();
         let mut at = start;
         for _ in 0..count {
@@ -141,6 +151,23 @@ mod tests {
             assert_eq!(ev.at, SimTime::from_ticks(1_000 + 10_000 * i as u64));
             assert_eq!(ev.recover_at, Some(ev.at + SimDuration::from_ticks(2_000)));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn random_singles_rejects_single_node_systems() {
+        // With n = 1 the only candidate is the spare: before the assert,
+        // the rejection loop span forever instead of failing loudly.
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = FailurePlan::random_singles(
+            &mut rng,
+            1,
+            NodeId::new(1),
+            1,
+            SimTime::ZERO,
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(10),
+        );
     }
 
     #[test]

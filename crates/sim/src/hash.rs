@@ -1,0 +1,76 @@
+//! The workspace's stable 64-bit fingerprint hash (FNV-1a).
+//!
+//! One implementation shared by every fingerprint in the tree — the
+//! trace hash ([`crate::Trace::hash64`]), `oc-check`'s outcome
+//! fingerprints, and the explorer's aggregate summaries — so "stable
+//! fingerprint" means the same thing everywhere and cannot silently
+//! diverge.
+
+/// An incremental FNV-1a hasher over bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the standard FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64 { state: Self::OFFSET }
+    }
+
+    /// Folds `bytes` into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.state ^= u64::from(*byte);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut a = Fnv64::new();
+        a.write(b"hello ");
+        a.write(b"world");
+        let mut b = Fnv64::new();
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -29,6 +29,8 @@ mod time;
 pub mod channel;
 pub mod crash;
 pub mod engine;
+pub mod hash;
+pub mod liveness;
 pub mod metrics;
 pub mod oracle;
 pub mod protocol;
@@ -37,9 +39,11 @@ pub mod trace;
 pub mod workload;
 pub mod world;
 
-pub use channel::DelayModel;
+pub use channel::{DelayModel, LinkFaults};
 pub use crash::FailurePlan;
 pub use engine::{drive, drive_recovery, ActionSink, TimerRow, TimerTable};
+pub use hash::Fnv64;
+pub use liveness::{check_liveness, LivenessReport, LivenessViolation};
 pub use metrics::{Metrics, MsgKind};
 pub use oracle::{OracleReport, Violation};
 pub use outbox::Outbox;

@@ -57,6 +57,18 @@ pub struct Metrics {
     sends_by_kind: BTreeMap<MsgKind, u64>,
     /// Messages destroyed because the destination had crashed.
     pub lost_to_crashes: u64,
+    /// Messages dropped on links to *live* nodes by injected link faults
+    /// ([`crate::channel::LinkFaults`]).
+    pub lost_to_faults: u64,
+    /// Extra deliveries injected by the duplicate-delivery link fault.
+    /// These are not counted as sends (`total_sent` is unchanged): one
+    /// logical send, two deliveries.
+    pub duplicated_deliveries: u64,
+    /// `RequestCs` injections that can never be served: issued to a node
+    /// that was already crashed, or wiped while pending when their node
+    /// crashed. The liveness oracle expects
+    /// `cs_entries + requests_abandoned` to account for every injection.
+    pub requests_abandoned: u64,
     /// Completed critical sections.
     pub cs_entries: u64,
     /// Crashes injected.
@@ -146,6 +158,9 @@ impl Metrics {
             *self.sends_by_kind.entry(*kind).or_insert(0) += count;
         }
         self.lost_to_crashes += other.lost_to_crashes;
+        self.lost_to_faults += other.lost_to_faults;
+        self.duplicated_deliveries += other.duplicated_deliveries;
+        self.requests_abandoned += other.requests_abandoned;
         self.cs_entries += other.cs_entries;
         self.crashes += other.crashes;
         self.recoveries += other.recoveries;
@@ -207,6 +222,9 @@ mod tests {
         }
         m.record_send(MsgKind::Test);
         m.lost_to_crashes = salt;
+        m.lost_to_faults = salt + 1;
+        m.duplicated_deliveries = salt + 2;
+        m.requests_abandoned = salt + 3;
         m.cs_entries = 2 * salt;
         m.crashes = salt % 3;
         m.recoveries = salt % 2;
@@ -222,6 +240,9 @@ mod tests {
         assert_eq!(a.sent(MsgKind::Request), 8);
         assert_eq!(a.sent(MsgKind::Test), 2);
         assert_eq!(a.lost_to_crashes, 8);
+        assert_eq!(a.lost_to_faults, 10);
+        assert_eq!(a.duplicated_deliveries, 12);
+        assert_eq!(a.requests_abandoned, 14);
         assert_eq!(a.cs_entries, 16);
         assert_eq!(a.total_waiting_ticks, 80);
         assert_eq!(a.events_processed, 208);

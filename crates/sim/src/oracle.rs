@@ -55,34 +55,36 @@ impl OracleReport {
 /// Tracks CS occupancy and live-token counts across a run.
 #[derive(Debug)]
 pub(crate) struct Oracle {
-    /// Which node is currently in CS, if any.
-    occupant: Option<NodeId>,
+    /// Every node currently inside the CS, in entry order. Normally empty
+    /// or a single element; anything longer *is* a violation, and keeping
+    /// the whole set (rather than only the first occupant) means every
+    /// overlapping entry after the first is reported and every occupant's
+    /// exit — intruders included — is honored, so a third concurrent
+    /// entry after the original occupant left cannot slip past unreported.
+    occupants: Vec<NodeId>,
     report: OracleReport,
 }
 
 impl Oracle {
     pub(crate) fn new() -> Self {
-        Oracle { occupant: None, report: OracleReport::default() }
+        Oracle { occupants: Vec::new(), report: OracleReport::default() }
     }
 
     /// A node enters the critical section.
     pub(crate) fn enter_cs(&mut self, at: SimTime, node: NodeId) {
-        if let Some(occupant) = self.occupant {
+        if let Some(&occupant) = self.occupants.first() {
             self.report.violations.push(Violation::MutualExclusion {
                 at,
                 occupant,
                 intruder: node,
             });
-        } else {
-            self.occupant = Some(node);
         }
+        self.occupants.push(node);
     }
 
     /// A node leaves the critical section (or crashes inside it).
     pub(crate) fn exit_cs(&mut self, node: NodeId) {
-        if self.occupant == Some(node) {
-            self.occupant = None;
-        }
+        self.occupants.retain(|occupant| *occupant != node);
     }
 
     /// Periodic token census: `count` live tokens exist right now.
@@ -131,6 +133,42 @@ mod tests {
         let mut o = Oracle::new();
         o.token_census(SimTime::from_ticks(9), 2);
         assert!(!o.report().is_clean());
+    }
+
+    #[test]
+    fn intruder_is_tracked_after_a_violation() {
+        // The regression the occupant-set fixes: node 1 enters, node 2
+        // intrudes (violation), node 1 leaves — node 2 is *still inside*,
+        // so node 3's entry must be reported as a second violation.
+        let mut o = Oracle::new();
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
+        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2));
+        o.exit_cs(NodeId::new(1));
+        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3));
+        assert_eq!(o.report().violations().len(), 2);
+        assert!(matches!(
+            o.report().violations()[1],
+            Violation::MutualExclusion { occupant, intruder, .. }
+                if occupant == NodeId::new(2) && intruder == NodeId::new(3)
+        ));
+        // Once both leave, a fresh entry is clean again.
+        o.exit_cs(NodeId::new(2));
+        o.exit_cs(NodeId::new(3));
+        o.enter_cs(SimTime::from_ticks(4), NodeId::new(4));
+        assert_eq!(o.report().violations().len(), 2);
+    }
+
+    #[test]
+    fn intruder_exit_is_honored() {
+        // The intruder leaving must clear *its* occupancy, not the
+        // original occupant's.
+        let mut o = Oracle::new();
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
+        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2));
+        o.exit_cs(NodeId::new(2));
+        // Node 1 is still inside: a new entry is a violation.
+        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3));
+        assert_eq!(o.report().violations().len(), 2);
     }
 
     #[test]

@@ -96,17 +96,13 @@ impl Trace {
     /// the fingerprint.
     #[must_use]
     pub fn hash64(&self) -> u64 {
-        fn eat(h: &mut u64, bytes: &[u8]) {
-            const PRIME: u64 = 0x0000_0100_0000_01b3;
-            for b in bytes {
-                *h ^= u64::from(*b);
-                *h = h.wrapping_mul(PRIME);
-            }
+        fn eat(h: &mut crate::hash::Fnv64, bytes: &[u8]) {
+            h.write(bytes);
         }
-        fn eat_node(h: &mut u64, n: NodeId) {
+        fn eat_node(h: &mut crate::hash::Fnv64, n: NodeId) {
             eat(h, &n.get().to_le_bytes());
         }
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = crate::hash::Fnv64::new();
         for (at, record) in &self.records {
             eat(&mut h, &at.ticks().to_le_bytes());
             match record {
@@ -142,7 +138,7 @@ impl Trace {
                 }
             }
         }
-        h
+        h.finish()
     }
 }
 

@@ -202,4 +202,83 @@ mod tests {
         assert_eq!(Workload::EveryNodeOnce.name(), "every-node-once");
         assert_eq!(Workload::Adversarial.name(), "adversarial");
     }
+
+    // ---- generator properties (seeded, many cases per property) ----
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// `true` if arrival times never go backwards.
+        fn monotone(s: &ArrivalSchedule) -> bool {
+            s.arrivals().windows(2).all(|w| w[0].0 <= w[1].0)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// `hot_fraction = 1.0` forces *every* arrival through the hot
+            /// set; `0.0` forces *none*. Using a hot node outside `1..=n`
+            /// makes the check exact: the uniform fallback can never
+            /// produce it by chance.
+            #[test]
+            fn hotspot_extreme_fractions_are_exact(
+                (p, count, seed) in (1u32..=6, 1usize..80, 0u64..u64::MAX)
+            ) {
+                let n = 1usize << p;
+                let sentinel = NodeId::new(n as u32 + 7);
+                let hot = [sentinel];
+                let gap = SimDuration::from_ticks(3);
+
+                let mut rng = StdRng::seed_from_u64(seed);
+                let all_hot = ArrivalSchedule::hotspot(&mut rng, n, &hot, 1.0, count, gap);
+                prop_assert!(all_hot.arrivals().iter().all(|(_, node)| *node == sentinel));
+
+                let mut rng = StdRng::seed_from_u64(seed);
+                let none_hot = ArrivalSchedule::hotspot(&mut rng, n, &hot, 0.0, count, gap);
+                prop_assert!(none_hot.arrivals().iter().all(|(_, node)| *node != sentinel));
+                prop_assert!(none_hot
+                    .arrivals()
+                    .iter()
+                    .all(|(_, node)| (1..=n as u32).contains(&node.get())));
+            }
+
+            /// `uniform` and `every_node_once` produce time-monotone
+            /// schedules for any gap (including zero).
+            #[test]
+            fn generated_arrivals_are_monotone_in_time(
+                (p, count, gap, seed) in (1u32..=6, 1usize..80, 0u64..50, 0u64..u64::MAX)
+            ) {
+                let n = 1usize << p;
+                let gap = SimDuration::from_ticks(gap);
+                let mut rng = StdRng::seed_from_u64(seed);
+                prop_assert!(monotone(&ArrivalSchedule::uniform(&mut rng, n, count, gap)));
+                prop_assert!(monotone(&ArrivalSchedule::every_node_once(&mut rng, n, gap)));
+                prop_assert!(monotone(&ArrivalSchedule::repeated(NodeId::new(1), count, gap)));
+            }
+
+            /// Shifting twice equals shifting once by the sum — and the
+            /// shift moves every arrival by exactly the offset.
+            #[test]
+            fn delayed_by_composes(
+                (p, count, a, b, seed) in
+                    (1u32..=5, 1usize..40, 0u64..1_000, 0u64..1_000, 0u64..u64::MAX)
+            ) {
+                let n = 1usize << p;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let base =
+                    ArrivalSchedule::uniform(&mut rng, n, count, SimDuration::from_ticks(7));
+                let twice = base
+                    .clone()
+                    .delayed_by(SimDuration::from_ticks(a))
+                    .delayed_by(SimDuration::from_ticks(b));
+                let once = base.clone().delayed_by(SimDuration::from_ticks(a + b));
+                prop_assert_eq!(&twice, &once);
+                for ((t0, n0), (t1, n1)) in base.arrivals().iter().zip(once.arrivals()) {
+                    prop_assert_eq!(n0, n1);
+                    prop_assert_eq!(t0.ticks() + a + b, t1.ticks());
+                }
+            }
+        }
+    }
 }

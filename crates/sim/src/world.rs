@@ -11,10 +11,10 @@
 use std::collections::VecDeque;
 
 use oc_topology::NodeId;
-use rand::{rngs::StdRng, SeedableRng};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 use crate::{
-    channel::DelayModel,
+    channel::{DelayModel, LinkFaults},
     crash::FailurePlan,
     engine::{self, ActionSink, TimerTable},
     metrics::Metrics,
@@ -45,6 +45,11 @@ pub struct SimConfig {
     /// Event-queue backend. Both backends produce identical traces for
     /// identical seeds; [`QueueBackend::Bucketed`] is the fast default.
     pub queue: QueueBackend,
+    /// Link-level fault injection between live nodes (loss window,
+    /// duplicate delivery). [`LinkFaults::none`] by default: no faults, no
+    /// extra RNG draws, so traces of existing configurations are
+    /// byte-identical.
+    pub faults: LinkFaults,
 }
 
 impl Default for SimConfig {
@@ -56,6 +61,7 @@ impl Default for SimConfig {
             record_trace: false,
             max_events: 100_000_000,
             queue: QueueBackend::default(),
+            faults: LinkFaults::none(),
         }
     }
 }
@@ -83,6 +89,9 @@ struct Core<M> {
     /// Dense per-node state, indexed by `NodeId::zero_based`.
     alive: Vec<bool>,
     in_cs: Vec<bool>,
+    /// `true` once a node has processed at least one `Recover` event —
+    /// read by the liveness oracle's re-join check.
+    recovered: Vec<bool>,
     timers: TimerTable,
     pending_request_times: Vec<VecDeque<SimTime>>,
     now: SimTime,
@@ -100,7 +109,7 @@ struct Core<M> {
     live_holders: usize,
 }
 
-impl<M: core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
+impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
     fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
         self.metrics.record_send(msg.kind());
         if self.trace.is_enabled() {
@@ -113,6 +122,31 @@ impl<M: core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
             // Destination already down: the message is lost.
             self.metrics.lost_to_crashes += 1;
             return;
+        }
+        // Link faults (off by default — this branch then draws no
+        // randomness, keeping legacy traces byte-identical).
+        if self.config.faults.active_at(self.now) {
+            let faults = self.config.faults;
+            if faults.loss_per_mille > 0
+                && self.rng.random_range(0..1000u32) < u32::from(faults.loss_per_mille)
+            {
+                // Dropped on the wire to a live node. A token-carrying
+                // message is destroyed exactly like one whose carrier
+                // crashed; it was never in flight as far as the census is
+                // concerned.
+                self.metrics.lost_to_faults += 1;
+                return;
+            }
+            if faults.duplicate_per_mille > 0
+                && !msg.carries_token()
+                && self.rng.random_range(0..1000u32) < u32::from(faults.duplicate_per_mille)
+            {
+                // A second, independently delayed delivery of the same
+                // logical send (tokens exempt: see `LinkFaults`).
+                self.metrics.duplicated_deliveries += 1;
+                let delay = self.config.delay.sample(&mut self.rng);
+                self.queue.push(self.now + delay, SimEvent::Deliver { to, from, msg: msg.clone() });
+            }
         }
         if msg.carries_token() {
             self.tokens_in_flight += 1;
@@ -191,6 +225,7 @@ impl<P: Protocol> World<P> {
                 config,
                 alive: vec![true; n],
                 in_cs: vec![false; n],
+                recovered: vec![false; n],
                 timers: TimerTable::new(n),
                 pending_request_times: vec![VecDeque::new(); n],
                 now: SimTime::ZERO,
@@ -234,6 +269,34 @@ impl<P: Protocol> World<P> {
     #[must_use]
     pub fn is_alive(&self, id: NodeId) -> bool {
         self.core.alive[id.zero_based() as usize]
+    }
+
+    /// `true` if the node has recovered from a crash at least once.
+    #[must_use]
+    pub fn has_recovered(&self, id: NodeId) -> bool {
+        self.core.recovered[id.zero_based() as usize]
+    }
+
+    /// Number of currently live nodes.
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.core.alive.iter().filter(|alive| **alive).count()
+    }
+
+    /// The current live-token census: tokens held by live nodes plus
+    /// tokens in flight toward live nodes — the quantity the token-
+    /// uniqueness oracle watches, exposed for the liveness oracle's
+    /// token-conservation check.
+    #[must_use]
+    pub fn live_token_census(&self) -> usize {
+        self.core.live_holders + self.core.tokens_in_flight
+    }
+
+    /// Number of injected requests on `id` still waiting for their CS
+    /// entry.
+    #[must_use]
+    pub fn pending_requests(&self, id: NodeId) -> usize {
+        self.core.pending_request_times[id.zero_based() as usize].len()
     }
 
     /// Metrics collected so far.
@@ -381,7 +444,9 @@ impl<P: Protocol> World<P> {
     fn handle_request_cs(&mut self, node: NodeId) {
         let idx = node.zero_based() as usize;
         if !self.core.alive[idx] {
-            // The application on a crashed node cannot request.
+            // The application on a crashed node cannot request; the
+            // injection is abandoned, never served.
+            self.core.metrics.requests_abandoned += 1;
             return;
         }
         self.core.pending_request_times[idx].push_back(self.core.now);
@@ -410,11 +475,18 @@ impl<P: Protocol> World<P> {
             self.core.in_cs[idx] = false;
             self.core.oracle.exit_cs(node);
         }
-        // All volatile node state is lost.
+        // All volatile node state is lost — including the application's
+        // not-yet-served requests, which are therefore abandoned.
         self.nodes[idx].on_crash();
         self.core.timers.clear_node(idx);
+        self.core.metrics.requests_abandoned += self.core.pending_request_times[idx].len() as u64;
         self.core.pending_request_times[idx].clear();
-        // All in-flight messages toward the node are destroyed.
+        // All in-flight messages toward the node are destroyed — and so
+        // is its scheduled CS exit, if any: the critical section it
+        // belonged to died with the crash, and letting the stale event
+        // fire could truncate a *new* critical section the node enters
+        // after recovering (timers are generation-guarded against
+        // exactly this; ExitCs events are purged here instead).
         let mut lost_tokens = 0usize;
         let mut lost = 0u64;
         self.core.queue.retain(|ev| match ev {
@@ -425,6 +497,7 @@ impl<P: Protocol> World<P> {
                 lost += 1;
                 false
             }
+            SimEvent::ExitCs { node: exiting } if *exiting == node => false,
             _ => true,
         });
         self.core.tokens_in_flight -= lost_tokens;
@@ -439,6 +512,7 @@ impl<P: Protocol> World<P> {
             return;
         }
         self.core.alive[idx] = true;
+        self.core.recovered[idx] = true;
         self.core.metrics.recoveries += 1;
         self.core.trace.push(self.core.now, TraceRecord::Recover(node));
         engine::drive_recovery(&mut self.nodes[idx], &mut self.outbox, &mut self.core);
@@ -667,6 +741,156 @@ mod tests {
         assert!(world.metrics().lost_to_crashes >= 1);
         assert!(!world.is_alive(NodeId::new(2)));
         assert!(world.is_alive(NodeId::new(1)));
+    }
+
+    #[test]
+    fn loss_window_drops_messages_to_live_nodes() {
+        // Total loss during [0, 1000): node 2's request to the coordinator
+        // evaporates on the wire even though everybody is alive.
+        let nodes = (1..=2u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+        let mut world = World::new(
+            SimConfig {
+                faults: LinkFaults {
+                    window_from: SimTime::ZERO,
+                    window_until: SimTime::from_ticks(1_000),
+                    loss_per_mille: 1_000,
+                    duplicate_per_mille: 0,
+                },
+                ..SimConfig::default()
+            },
+            nodes,
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        assert!(world.run_to_quiescence());
+        assert_eq!(world.metrics().cs_entries, 0);
+        assert_eq!(world.metrics().lost_to_faults, 1);
+        assert_eq!(world.metrics().lost_to_crashes, 0);
+        // And the liveness oracle sees the starved request.
+        let report = crate::liveness::check_liveness(&world, true);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, crate::liveness::LivenessViolation::Starvation { .. })));
+    }
+
+    #[test]
+    fn duplicate_window_adds_second_deliveries() {
+        // Total duplication: every non-token message is delivered twice.
+        // The coordinator protocol tolerates a duplicated request (the
+        // second grant is eventually returned), so the run stays live.
+        let nodes = (1..=2u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+        let mut world = World::new(
+            SimConfig {
+                faults: LinkFaults {
+                    window_from: SimTime::ZERO,
+                    window_until: SimTime::from_ticks(1_000_000),
+                    loss_per_mille: 0,
+                    duplicate_per_mille: 1_000,
+                },
+                max_events: 100_000,
+                ..SimConfig::default()
+            },
+            nodes,
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        assert!(world.run_to_quiescence());
+        // Req is duplicated; Grant/Release carry the token and are exempt.
+        assert_eq!(world.metrics().duplicated_deliveries, 1);
+        // The naive coordinator has no duplicate suppression: the second
+        // Req copy earns a second (sequential, still mutually exclusive)
+        // grant. One injected request, two critical sections — at-least-
+        // once delivery made visible.
+        assert_eq!(world.metrics().cs_entries, 2);
+        assert!(world.oracle_report().is_clean());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_under_seed() {
+        let run = |seed| {
+            let nodes = (1..=8u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+            let mut world = World::new(
+                SimConfig {
+                    seed,
+                    faults: LinkFaults {
+                        window_from: SimTime::from_ticks(5),
+                        window_until: SimTime::from_ticks(500),
+                        loss_per_mille: 200,
+                        duplicate_per_mille: 300,
+                    },
+                    ..SimConfig::default()
+                },
+                nodes,
+            );
+            for i in 1..=8u32 {
+                world.schedule_request(SimTime::from_ticks(u64::from(i) * 3), NodeId::new(i));
+            }
+            let drained = world.run_to_quiescence();
+            (
+                drained,
+                world.metrics().total_sent(),
+                world.metrics().lost_to_faults,
+                world.metrics().duplicated_deliveries,
+                world.metrics().events_processed,
+                world.now(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds should fault differently");
+    }
+
+    #[test]
+    fn crash_purges_the_stale_exit_cs_event() {
+        // A node crashes inside its CS and recovers quickly; the exit
+        // scheduled for the *pre-crash* critical section must not fire
+        // into a critical section entered after recovery.
+        #[derive(Debug, Clone)]
+        struct Noop;
+        impl MessageKind for Noop {
+            fn kind(&self) -> MsgKind {
+                MsgKind::Request
+            }
+        }
+        /// Enters the CS on every request; exits only via the substrate.
+        #[derive(Debug)]
+        struct Entrant(NodeId);
+        impl Protocol for Entrant {
+            type Msg = Noop;
+            fn id(&self) -> NodeId {
+                self.0
+            }
+            fn on_event(&mut self, ev: NodeEvent<Noop>, out: &mut Outbox<Noop>) {
+                if matches!(ev, NodeEvent::RequestCs) {
+                    out.enter_cs();
+                }
+            }
+            fn on_crash(&mut self) {}
+            fn on_recover(&mut self, _out: &mut Outbox<Noop>) {}
+            fn in_cs(&self) -> bool {
+                false
+            }
+            fn holds_token(&self) -> bool {
+                false
+            }
+        }
+        let mut world = World::new(
+            SimConfig { record_trace: true, max_events: 10_000, ..SimConfig::default() },
+            vec![Entrant(NodeId::new(1))],
+        );
+        // CS duration is 50: enter at 1 (stale exit would fire at 51),
+        // crash at 5, recover at 10, re-enter at 20 (real exit at 70).
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(1));
+        world.schedule_failure(SimTime::from_ticks(5), NodeId::new(1));
+        world.schedule_recovery(SimTime::from_ticks(10), NodeId::new(1));
+        world.schedule_request(SimTime::from_ticks(20), NodeId::new(1));
+        assert!(world.run_to_quiescence());
+        let exits: Vec<u64> = world
+            .trace()
+            .records()
+            .iter()
+            .filter(|(_, r)| matches!(r, TraceRecord::ExitCs(_)))
+            .map(|(at, _)| at.ticks())
+            .collect();
+        assert_eq!(exits, vec![70], "only the post-recovery CS may exit, at its full length");
     }
 
     #[test]

@@ -54,6 +54,7 @@
 pub use oc_algo as algo;
 pub use oc_analysis as analysis;
 pub use oc_baselines as baselines;
+pub use oc_check as check;
 pub use oc_general as general;
 pub use oc_runtime as runtime;
 pub use oc_sim as sim;
