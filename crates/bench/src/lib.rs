@@ -19,6 +19,7 @@
 
 pub mod cli;
 pub mod json;
+pub mod loadgen;
 pub mod sweep;
 
 use oc_algo::{Config, OpenCubeNode};

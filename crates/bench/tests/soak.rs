@@ -1,0 +1,44 @@
+//! Stress/soak: a 60-second loadgen run at n = 1024 over 8 workers with
+//! crash churn, judged by the full oracle suite.
+//!
+//! Ignored by default (it takes a minute by construction); CI runs it
+//! explicitly with `cargo test --release -p oc-bench --test soak --
+//! --ignored`.
+
+use std::time::Duration;
+
+use oc_bench::loadgen::{run_cell, LoadCell, LoadMode};
+
+#[test]
+#[ignore = "60s soak; run explicitly (CI does)"]
+fn soak_n1024_with_crash_churn_is_clean() {
+    let row = run_cell(&LoadCell {
+        n: 1024,
+        workers: 8,
+        duration: Duration::from_secs(60),
+        mode: LoadMode::Open { rate_per_sec: 200 },
+        churn_crashes: 20,
+        seed: 42,
+    });
+
+    // Zero oracle violations, settled.
+    assert!(row.settled, "soak did not settle: {row:?}");
+    assert_eq!(row.safety_violations, 0, "safety violations: {row:?}");
+    assert_eq!(row.liveness_violations, 0, "liveness violations: {row:?}");
+
+    // Churn executed: every crash recovered.
+    assert_eq!(row.crashes, 20, "churn shape: {row:?}");
+    assert_eq!(row.recoveries, 20, "churn shape: {row:?}");
+
+    // Counts conserved: every injected request is terminal, every grant
+    // produced exactly one latency sample.
+    assert_eq!(row.injected, row.served + row.abandoned, "conservation: {row:?}");
+    assert_eq!(row.latency.count, row.served, "histogram counts: {row:?}");
+    assert!(row.served > 0);
+
+    // Histogram sanity: quantiles ordered, bounded by the exact max.
+    assert!(row.latency.p50_nanos <= row.latency.p99_nanos, "{row:?}");
+    assert!(row.latency.p99_nanos <= row.latency.p999_nanos, "{row:?}");
+    assert!(row.latency.p999_nanos <= row.latency.max_nanos, "{row:?}");
+    assert!(row.latency.mean_nanos > 0.0);
+}

@@ -32,6 +32,12 @@
 //! Sharded exploration (thousands of scenarios across threads) lives in
 //! the `explore` binary of `oc-bench`, which drives this crate through
 //! `oc_bench::sweep`.
+//!
+//! Scenarios also run against the *threaded* lock service:
+//! [`run_scenario_runtime`] maps a scenario's ticks to wall time and
+//! plays it through `oc_runtime::Runtime`, returning the same
+//! [`Outcome`] judged by the same oracles — the bridge the sim-vs-
+//! runtime conformance suite is built on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,10 +45,12 @@
 mod run;
 mod scenario;
 mod shrink;
+mod threaded;
 
 pub use run::{run_scenario, Outcome};
 pub use scenario::{Scenario, ScenarioCrash, Space};
 pub use shrink::{shrink, ShrinkResult};
+pub use threaded::{run_scenario_runtime, RuntimeProfile};
 
 use oc_algo::Mutation;
 

@@ -1,0 +1,113 @@
+//! Runtime-backed scenario execution: the explorer's scenarios played
+//! through the *threaded* lock service instead of the simulator.
+//!
+//! A [`Scenario`] is plain data — arrivals, crash plan, delay envelope,
+//! fault window, all in ticks — so the same scenario that fails (or
+//! passes) under [`crate::run_scenario`] can be replayed against
+//! `oc_runtime::Runtime` by mapping ticks to wall time. The verdict
+//! comes back as the same [`Outcome`] type, judged by the same oracles;
+//! only determinism is lost (real threads, real clocks), so runtime
+//! outcomes are evidence, not fingerprints: equal scenarios give equal
+//! *verdicts* on healthy runs, not byte-equal counters.
+//!
+//! The simulator's `max_events` horizon maps to a wall-clock settle
+//! timeout: a run that has not settled when it expires is reported as
+//! horizon exhaustion by the liveness oracle, exactly like a sim run
+//! that tripped its event cap.
+
+use std::time::Duration;
+
+use oc_algo::{Config, Mutation, OpenCubeNode};
+use oc_runtime::{Runtime, RuntimeConfig, RuntimeFaults};
+use oc_sim::{ArrivalSchedule, SimDuration, SimTime};
+use oc_topology::NodeId;
+
+use crate::run::Outcome;
+use crate::scenario::Scenario;
+
+/// Wall-clock mapping for a runtime-backed scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeProfile {
+    /// Real-time length of one scenario tick.
+    pub tick: Duration,
+    /// Worker threads for the node shards.
+    pub workers: usize,
+    /// How long to wait for the run to settle before cutting the horizon.
+    pub settle_timeout: Duration,
+}
+
+impl Default for RuntimeProfile {
+    fn default() -> Self {
+        RuntimeProfile {
+            tick: Duration::from_micros(20),
+            workers: 4,
+            settle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+fn ticks(profile: &RuntimeProfile, t: u64) -> Duration {
+    profile.tick.saturating_mul(u32::try_from(t).unwrap_or(u32::MAX))
+}
+
+/// Plays `scenario` through the threaded runtime and returns its oracle
+/// verdict — the same [`Outcome`] shape as the deterministic
+/// [`crate::run_scenario`], with `events` counting worker-processed
+/// commands instead of simulator events.
+#[must_use]
+pub fn run_scenario_runtime(
+    scenario: &Scenario,
+    mutation: Mutation,
+    profile: &RuntimeProfile,
+) -> Outcome {
+    let cfg = Config::new(
+        scenario.n,
+        SimDuration::from_ticks(scenario.delay_max),
+        SimDuration::from_ticks(scenario.cs_ticks),
+    )
+    .with_contention_slack(SimDuration::from_ticks(scenario.contention_slack))
+    .with_mutation(mutation);
+
+    let rt = Runtime::start(
+        RuntimeConfig {
+            workers: profile.workers,
+            tick: profile.tick,
+            // The protocol's δ is `delay_max` ticks; the router's delay
+            // bound maps it exactly.
+            max_network_delay: ticks(profile, scenario.delay_max),
+            cs_duration: ticks(profile, scenario.cs_ticks),
+            seed: scenario.seed,
+            faults: RuntimeFaults {
+                window_from: ticks(profile, scenario.lossy_from),
+                window_until: ticks(profile, scenario.lossy_until),
+                loss_per_mille: scenario.loss_per_mille,
+                duplicate_per_mille: scenario.duplicate_per_mille,
+            },
+            record_trace: false,
+        },
+        OpenCubeNode::build_all(cfg),
+    );
+
+    let mut schedule = ArrivalSchedule::new();
+    for (at, node) in &scenario.arrivals {
+        schedule = schedule.then(SimTime::from_ticks(*at), NodeId::new(*node));
+    }
+    let _ = rt.schedule_workload(&schedule);
+    rt.schedule_failures(&scenario.failure_plan());
+
+    let _ = rt.await_settled(profile.settle_timeout);
+    let report = rt.shutdown();
+    Outcome {
+        drained: report.drained,
+        events: report.events_processed,
+        messages: report.messages_sent,
+        cs_entries: report.cs_entries,
+        crashes: report.crashes,
+        recoveries: report.recoveries,
+        abandoned: report.requests_abandoned,
+        lost_to_faults: report.lost_to_faults,
+        duplicated: report.duplicated_deliveries,
+        safety: report.safety,
+        liveness: report.liveness,
+    }
+}

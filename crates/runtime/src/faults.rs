@@ -1,0 +1,89 @@
+//! Runtime-side fault injection, mirroring the simulator's
+//! [`oc_sim::LinkFaults`] in wall-clock time.
+//!
+//! The semantics are kept deliberately identical to the simulator's (see
+//! `oc_sim::channel`): loss drops a message on the wire to a *live* node
+//! inside the window — a dropped token is destroyed exactly as if its
+//! carrier had crashed; duplication enqueues a second, independently
+//! delayed delivery of the same logical send, with token-carrying
+//! messages exempt (a transport for a token algorithm must be
+//! exactly-once for the token). The only difference is the clock: the
+//! window is expressed as elapsed wall time since the runtime started,
+//! not virtual ticks.
+
+use std::time::Duration;
+
+/// Link-level fault injection for the threaded runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeFaults {
+    /// Start of the faulty window, measured from runtime start
+    /// (inclusive).
+    pub window_from: Duration,
+    /// End of the faulty window (exclusive).
+    pub window_until: Duration,
+    /// Per-message loss probability inside the window, in 1/1000 units.
+    pub loss_per_mille: u16,
+    /// Per-message duplication probability inside the window, in 1/1000
+    /// units (token-carrying messages exempt).
+    pub duplicate_per_mille: u16,
+}
+
+impl RuntimeFaults {
+    /// No faults — the paper's reliable-channel model.
+    #[must_use]
+    pub fn none() -> Self {
+        RuntimeFaults::default()
+    }
+
+    /// `true` if this configuration can ever inject a fault.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        (self.loss_per_mille > 0 || self.duplicate_per_mille > 0)
+            && self.window_from < self.window_until
+    }
+
+    /// `true` while `elapsed` (since runtime start) is inside the window.
+    #[must_use]
+    pub fn active_at(&self, elapsed: Duration) -> bool {
+        self.enabled() && elapsed >= self.window_from && elapsed < self.window_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        let f = RuntimeFaults::none();
+        assert!(!f.enabled());
+        assert!(!f.active_at(Duration::ZERO));
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let f = RuntimeFaults {
+            window_from: Duration::from_millis(10),
+            window_until: Duration::from_millis(20),
+            loss_per_mille: 100,
+            duplicate_per_mille: 0,
+        };
+        assert!(f.enabled());
+        assert!(!f.active_at(Duration::from_millis(9)));
+        assert!(f.active_at(Duration::from_millis(10)));
+        assert!(f.active_at(Duration::from_micros(19_999)));
+        assert!(!f.active_at(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn needs_both_rate_and_window() {
+        let no_window = RuntimeFaults { loss_per_mille: 500, ..RuntimeFaults::none() };
+        assert!(!no_window.enabled());
+        let no_rate = RuntimeFaults {
+            window_from: Duration::ZERO,
+            window_until: Duration::from_secs(1),
+            ..RuntimeFaults::none()
+        };
+        assert!(!no_rate.enabled());
+    }
+}

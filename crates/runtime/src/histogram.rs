@@ -1,0 +1,236 @@
+//! Log-linear latency histogram, HDR-style.
+//!
+//! Latencies span six orders of magnitude (microseconds under no load,
+//! seconds behind a crash repair), so linear buckets are hopeless and
+//! storing raw samples is an allocation per request. This histogram uses
+//! the standard log-linear layout: exact buckets below 64 ns, then 64
+//! sub-buckets per power of two — ≤ 1/64 (~1.6 %) relative error at any
+//! magnitude, in a fixed 3 776-slot table with O(1) recording.
+
+/// Number of mantissa bits kept per power of two (64 sub-buckets).
+const SUB_BITS: u32 = 6;
+/// Sub-buckets per power of two.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: the exact linear region plus one 64-wide row per
+/// remaining power of two of a `u64`.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A fixed-size log-linear histogram of nanosecond latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; BUCKETS], count: 0, sum_nanos: 0, max_nanos: 0 }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket(nanos)] += 1;
+        self.count += 1;
+        self.sum_nanos += u128::from(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    fn bucket(nanos: u64) -> usize {
+        if nanos < SUB as u64 {
+            return nanos as usize;
+        }
+        // Bit length b ≥ 7 here; keep the top SUB_BITS+1 bits, which land
+        // in [SUB, 2·SUB); the row index is the exponent above the linear
+        // region.
+        let b = 64 - nanos.leading_zeros();
+        let exponent = (b - SUB_BITS) as usize;
+        let top = (nanos >> (b - SUB_BITS - 1)) as usize; // in [SUB, 2*SUB)
+        exponent * SUB + (top - SUB)
+    }
+
+    /// The largest value a bucket can hold — what quantiles report.
+    fn bucket_ceiling(bucket: usize) -> u64 {
+        if bucket < SUB {
+            return bucket as u64;
+        }
+        let exponent = (bucket / SUB) as u32;
+        let sub = (bucket % SUB) as u128;
+        let hi = ((sub + SUB as u128 + 1) << (exponent - 1)) - 1;
+        u64::try_from(hi).unwrap_or(u64::MAX)
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    #[must_use]
+    pub fn max_nanos(&self) -> u64 {
+        self.max_nanos
+    }
+
+    /// Mean of all recorded samples (exact, not bucketed).
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (e.g. `0.99`), as the ceiling of the bucket the
+    /// rank lands in, clamped to the exact maximum. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_ceiling(bucket).min(self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// The headline summary (p50/p99/p999, max, mean).
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50_nanos: self.quantile(0.50),
+            p99_nanos: self.quantile(0.99),
+            p999_nanos: self.quantile(0.999),
+            max_nanos: self.max_nanos,
+            mean_nanos: self.mean_nanos(),
+        }
+    }
+}
+
+/// The quantile summary of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median latency, nanoseconds.
+    pub p50_nanos: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_nanos: u64,
+    /// 99.9th-percentile latency, nanoseconds.
+    pub p999_nanos: u64,
+    /// Largest latency (exact).
+    pub max_nanos: u64,
+    /// Mean latency (exact).
+    pub mean_nanos: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        // Bucket index must be non-decreasing in the value, and the
+        // ceiling must bound the value within ~1/32 relative error.
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0..63 {
+            for offset in [0u64, 1, 3] {
+                values.push((1u64 << shift) + offset);
+            }
+        }
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let b = LatencyHistogram::bucket(v);
+            assert!(b >= last, "bucket regressed at {v}");
+            last = b;
+            let hi = LatencyHistogram::bucket_ceiling(b);
+            assert!(hi >= v, "ceiling {hi} below value {v}");
+            assert!(
+                hi as f64 <= v as f64 * (1.0 + 1.0 / 32.0) + 1.0,
+                "ceiling {hi} too loose for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 137 + 5);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10_000);
+        assert!(s.p50_nanos <= s.p99_nanos);
+        assert!(s.p99_nanos <= s.p999_nanos);
+        assert!(s.p999_nanos <= s.max_nanos);
+        assert_eq!(s.max_nanos, 9_999 * 137 + 5);
+        assert!(s.mean_nanos > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        let s = h.summary();
+        assert_eq!(s, LatencySummary::default());
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        assert_eq!(h.quantile(0.5), 42);
+        assert_eq!(h.quantile(0.999), 42);
+        assert_eq!(h.max_nanos(), 42);
+    }
+
+    #[test]
+    fn merge_conserves_counts_and_max() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..500 {
+            a.record(i);
+            b.record(1_000_000 + i);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1_000);
+        assert_eq!(a.max_nanos(), 1_000_499);
+        assert!(a.quantile(0.25) < 1_000_000);
+        assert!(a.quantile(0.75) >= 1_000_000);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

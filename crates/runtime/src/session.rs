@@ -1,0 +1,336 @@
+//! The client-facing session table: request identities, per-request
+//! lifecycle, and the latency histogram.
+//!
+//! Every `acquire` (immediate or scheduled) opens a request slot. A
+//! request's lifecycle is strictly
+//! `Pending → Granted → Completed`, short-circuited to `Abandoned` when
+//! its node crashes first (or the runtime shuts down before service) —
+//! the same accounting the simulator's `World` keeps, so the liveness
+//! oracle's `served + abandoned == injected` equation judges both
+//! substrates identically.
+//!
+//! Grant order is per-node FIFO, matching the simulator's
+//! `pending_request_times` queues: when a node enters the CS, its oldest
+//! *activated* request is the one being served.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use oc_topology::NodeId;
+
+use crate::histogram::{LatencyHistogram, LatencySummary};
+
+/// Identity of one `acquire` call, unique within its runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// The raw index (dense, in issue order).
+    #[must_use]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw index (crate-internal: ids cross the
+    /// router as plain `u64`s).
+    pub(crate) fn from_index(index: u64) -> Self {
+        RequestId(index)
+    }
+}
+
+/// Lifecycle state of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Issued, not yet granted.
+    Pending,
+    /// Inside the critical section right now.
+    Granted,
+    /// Served: the critical section completed (terminal).
+    Completed,
+    /// Never served: its node crashed while it waited, it was issued to a
+    /// crashed node, or the runtime shut down first (terminal).
+    Abandoned,
+}
+
+impl RequestStatus {
+    /// `true` for the terminal states.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, RequestStatus::Completed | RequestStatus::Abandoned)
+    }
+}
+
+#[derive(Debug)]
+struct RequestSlot {
+    node: NodeId,
+    /// Issue time — for scheduled arrivals, the *scheduled* delivery
+    /// instant, so open-loop latency includes queueing behind the lock
+    /// but not the schedule's lead time.
+    t0: Instant,
+    status: RequestStatus,
+}
+
+#[derive(Debug)]
+struct SessionInner {
+    slots: Vec<RequestSlot>,
+    /// Activated-but-ungranted requests per node, FIFO.
+    pending: Vec<VecDeque<u64>>,
+    /// The request currently inside the CS per node, if any.
+    current: Vec<Option<u64>>,
+    histogram: LatencyHistogram,
+}
+
+/// Shared, mutex-protected session state (see module docs).
+#[derive(Debug)]
+pub(crate) struct SessionTable {
+    inner: Mutex<SessionInner>,
+}
+
+impl SessionTable {
+    pub(crate) fn new(n: usize) -> Self {
+        SessionTable {
+            inner: Mutex::new(SessionInner {
+                slots: Vec::new(),
+                pending: vec![VecDeque::new(); n],
+                current: vec![None; n],
+                histogram: LatencyHistogram::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionInner> {
+        self.inner.lock().expect("session table poisoned")
+    }
+
+    /// Opens a new request slot (status `Pending`, not yet activated).
+    pub(crate) fn open(&self, node: NodeId, t0: Instant) -> RequestId {
+        let mut inner = self.lock();
+        let id = inner.slots.len() as u64;
+        inner.slots.push(RequestSlot { node, t0, status: RequestStatus::Pending });
+        RequestId(id)
+    }
+
+    /// Activates a request at its node: it joins the node's FIFO grant
+    /// queue. Called by the owning worker when the `Acquire` command is
+    /// processed, so queue order matches processing order.
+    pub(crate) fn activate(&self, id: RequestId) {
+        let mut inner = self.lock();
+        let node = inner.slots[id.0 as usize].node;
+        inner.pending[node.zero_based() as usize].push_back(id.0);
+    }
+
+    /// Abandons one request (issued to a crashed node). Returns `true`
+    /// if it was still pending.
+    pub(crate) fn abandon(&self, id: RequestId) -> bool {
+        let mut inner = self.lock();
+        let slot = &mut inner.slots[id.0 as usize];
+        if slot.status == RequestStatus::Pending {
+            slot.status = RequestStatus::Abandoned;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Grants the node's oldest activated request: pops the FIFO, marks
+    /// it `Granted`, and records its latency. Returns the request and
+    /// its latency, or `None` if the node entered the CS with no session
+    /// request queued.
+    pub(crate) fn grant(&self, node: NodeId, now: Instant) -> Option<(RequestId, u64)> {
+        let mut inner = self.lock();
+        let idx = node.zero_based() as usize;
+        let id = inner.pending[idx].pop_front()?;
+        let latency = {
+            let slot = &mut inner.slots[id as usize];
+            slot.status = RequestStatus::Granted;
+            u64::try_from(now.saturating_duration_since(slot.t0).as_nanos()).unwrap_or(u64::MAX)
+        };
+        inner.current[idx] = Some(id);
+        inner.histogram.record(latency);
+        Some((RequestId(id), latency))
+    }
+
+    /// Completes the node's granted request (CS exit). Returns it, if
+    /// one was current.
+    pub(crate) fn complete_current(&self, node: NodeId) -> Option<RequestId> {
+        let mut inner = self.lock();
+        let idx = node.zero_based() as usize;
+        let id = inner.current[idx].take()?;
+        inner.slots[id as usize].status = RequestStatus::Completed;
+        Some(RequestId(id))
+    }
+
+    /// `true` if `id` is the request currently holding `node`'s critical
+    /// section — the release-path validity check.
+    pub(crate) fn is_current(&self, id: RequestId, node: NodeId) -> bool {
+        let inner = self.lock();
+        inner.current[node.zero_based() as usize] == Some(id.0)
+    }
+
+    /// The node a request was issued against.
+    pub(crate) fn node_of(&self, id: RequestId) -> Option<NodeId> {
+        let inner = self.lock();
+        inner.slots.get(id.0 as usize).map(|slot| slot.node)
+    }
+
+    /// Crash of `node`: every activated-but-ungranted request is
+    /// abandoned (returns the count), and a granted request is completed
+    /// — its critical section was served, however abruptly it ended.
+    pub(crate) fn crash_node(&self, node: NodeId) -> u64 {
+        let mut inner = self.lock();
+        let idx = node.zero_based() as usize;
+        let mut abandoned = 0;
+        while let Some(id) = inner.pending[idx].pop_front() {
+            inner.slots[id as usize].status = RequestStatus::Abandoned;
+            abandoned += 1;
+        }
+        if let Some(id) = inner.current[idx].take() {
+            inner.slots[id as usize].status = RequestStatus::Completed;
+        }
+        abandoned
+    }
+
+    /// Shutdown: force every non-terminal request terminal — `Pending`
+    /// becomes `Abandoned` (returns how many), `Granted` becomes
+    /// `Completed`. After this, `injected == completed + abandoned`
+    /// holds unconditionally.
+    pub(crate) fn finalize(&self) -> u64 {
+        let mut inner = self.lock();
+        let mut newly_abandoned = 0;
+        for slot in &mut inner.slots {
+            match slot.status {
+                RequestStatus::Pending => {
+                    slot.status = RequestStatus::Abandoned;
+                    newly_abandoned += 1;
+                }
+                RequestStatus::Granted => slot.status = RequestStatus::Completed,
+                _ => {}
+            }
+        }
+        for queue in &mut inner.pending {
+            queue.clear();
+        }
+        for current in &mut inner.current {
+            *current = None;
+        }
+        newly_abandoned
+    }
+
+    /// One request's status.
+    pub(crate) fn status(&self, id: RequestId) -> Option<RequestStatus> {
+        let inner = self.lock();
+        inner.slots.get(id.0 as usize).map(|slot| slot.status)
+    }
+
+    /// `true` if no request is pending or granted.
+    pub(crate) fn all_terminal(&self) -> bool {
+        let inner = self.lock();
+        inner.slots.iter().all(|slot| slot.status.is_terminal())
+    }
+
+    /// Terminal counts: `(completed, abandoned)`.
+    pub(crate) fn terminal_counts(&self) -> (u64, u64) {
+        let inner = self.lock();
+        let mut completed = 0;
+        let mut abandoned = 0;
+        for slot in &inner.slots {
+            match slot.status {
+                RequestStatus::Completed => completed += 1,
+                RequestStatus::Abandoned => abandoned += 1,
+                _ => {}
+            }
+        }
+        (completed, abandoned)
+    }
+
+    /// Requests opened so far.
+    pub(crate) fn opened(&self) -> u64 {
+        self.lock().slots.len() as u64
+    }
+
+    /// Snapshot of the latency summary.
+    pub(crate) fn latency_summary(&self) -> LatencySummary {
+        self.lock().histogram.summary()
+    }
+
+    /// Clones the full histogram (for merging across runs in harnesses).
+    pub(crate) fn histogram(&self) -> LatencyHistogram {
+        self.lock().histogram.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SessionTable {
+        SessionTable::new(4)
+    }
+
+    #[test]
+    fn lifecycle_pending_granted_completed() {
+        let t = table();
+        let now = Instant::now();
+        let id = t.open(NodeId::new(2), now);
+        assert_eq!(t.status(id), Some(RequestStatus::Pending));
+        t.activate(id);
+        let (granted, _latency) = t.grant(NodeId::new(2), now).expect("queued request");
+        assert_eq!(granted, id);
+        assert_eq!(t.status(id), Some(RequestStatus::Granted));
+        assert!(t.is_current(id, NodeId::new(2)));
+        assert_eq!(t.complete_current(NodeId::new(2)), Some(id));
+        assert_eq!(t.status(id), Some(RequestStatus::Completed));
+        assert!(t.all_terminal());
+    }
+
+    #[test]
+    fn grant_order_is_fifo_per_node() {
+        let t = table();
+        let now = Instant::now();
+        let a = t.open(NodeId::new(1), now);
+        let b = t.open(NodeId::new(1), now);
+        t.activate(a);
+        t.activate(b);
+        assert_eq!(t.grant(NodeId::new(1), now).unwrap().0, a);
+        t.complete_current(NodeId::new(1));
+        assert_eq!(t.grant(NodeId::new(1), now).unwrap().0, b);
+    }
+
+    #[test]
+    fn crash_abandons_pending_and_completes_current() {
+        let t = table();
+        let now = Instant::now();
+        let served = t.open(NodeId::new(3), now);
+        let starved = t.open(NodeId::new(3), now);
+        t.activate(served);
+        t.activate(starved);
+        t.grant(NodeId::new(3), now).unwrap();
+        assert_eq!(t.crash_node(NodeId::new(3)), 1);
+        assert_eq!(t.status(served), Some(RequestStatus::Completed));
+        assert_eq!(t.status(starved), Some(RequestStatus::Abandoned));
+        assert_eq!(t.terminal_counts(), (1, 1));
+    }
+
+    #[test]
+    fn finalize_terminates_everything() {
+        let t = table();
+        let now = Instant::now();
+        let pending = t.open(NodeId::new(1), now);
+        let granted = t.open(NodeId::new(2), now);
+        t.activate(granted);
+        t.grant(NodeId::new(2), now).unwrap();
+        assert_eq!(t.finalize(), 1);
+        assert_eq!(t.status(pending), Some(RequestStatus::Abandoned));
+        assert_eq!(t.status(granted), Some(RequestStatus::Completed));
+        assert!(t.all_terminal());
+        assert_eq!(t.opened(), 2);
+    }
+
+    #[test]
+    fn grant_without_session_request_is_none() {
+        let t = table();
+        assert!(t.grant(NodeId::new(1), Instant::now()).is_none());
+        assert!(t.complete_current(NodeId::new(1)).is_none());
+    }
+}

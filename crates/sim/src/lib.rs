@@ -43,9 +43,11 @@ pub use channel::{DelayModel, LinkFaults};
 pub use crash::FailurePlan;
 pub use engine::{drive, drive_recovery, ActionSink, TimerRow, TimerTable};
 pub use hash::Fnv64;
-pub use liveness::{check_liveness, LivenessReport, LivenessViolation};
+pub use liveness::{
+    check_horizon, check_liveness, Horizon, LivenessReport, LivenessViolation, NodeAtHorizon,
+};
 pub use metrics::{Metrics, MsgKind};
-pub use oracle::{OracleReport, Violation};
+pub use oracle::{Oracle, OracleReport, Violation};
 pub use outbox::Outbox;
 pub use protocol::{Action, MessageKind, NodeEvent, Protocol};
 pub use queue::{EventQueue, QueueBackend};

@@ -93,6 +93,56 @@ impl LivenessReport {
     }
 }
 
+/// One node's state at the liveness horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeAtHorizon {
+    /// The node.
+    pub node: NodeId,
+    /// `true` if the node was alive at the horizon.
+    pub alive: bool,
+    /// The node's [`Protocol::is_idle`] at the horizon (only read for
+    /// alive nodes).
+    pub idle: bool,
+    /// `true` if the node recovered from a crash at least once.
+    pub recovered: bool,
+}
+
+/// A substrate-agnostic snapshot of a finished run at its horizon — the
+/// exact inputs the liveness oracle judges.
+///
+/// [`check_liveness`] builds one from a [`World`]; the threaded runtime
+/// (`oc-runtime`) builds one from its final state at shutdown. Both are
+/// then judged by [`check_horizon`] — the same oracle code, whatever
+/// substrate executed the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Horizon {
+    /// `true` if the run converged (event queue drained / runtime settled)
+    /// rather than being cut off by an event cap or a forced shutdown.
+    pub drained: bool,
+    /// Events processed when the horizon was reached.
+    pub events: u64,
+    /// Requests injected over the run.
+    pub injected: u64,
+    /// Critical sections completed.
+    pub served: u64,
+    /// Requests abandoned by crashes of their node (or by a forced
+    /// shutdown, for the runtime).
+    pub abandoned: u64,
+    /// Live tokens at the horizon: held by live nodes or in flight toward
+    /// live nodes.
+    pub live_token_census: usize,
+    /// Per-node state at the horizon, in identity order.
+    pub nodes: Vec<NodeAtHorizon>,
+}
+
+impl Horizon {
+    /// Number of live nodes at the horizon.
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.iter().filter(|state| state.alive).count()
+    }
+}
+
 /// Checks the liveness properties of a finished run.
 ///
 /// `drained` is the return value of [`World::run_to_quiescence`]: `true`
@@ -102,34 +152,56 @@ impl LivenessReport {
 /// are still pending.
 #[must_use]
 pub fn check_liveness<P: Protocol>(world: &World<P>, drained: bool) -> LivenessReport {
+    let nodes = NodeId::all(world.len())
+        .map(|id| NodeAtHorizon {
+            node: id,
+            alive: world.is_alive(id),
+            idle: world.node(id).is_idle(),
+            recovered: world.has_recovered(id),
+        })
+        .collect();
+    check_horizon(&Horizon {
+        drained,
+        events: world.metrics().events_processed,
+        injected: world.requests_injected(),
+        served: world.metrics().cs_entries,
+        abandoned: world.metrics().requests_abandoned,
+        live_token_census: world.live_token_census(),
+        nodes,
+    })
+}
+
+/// Judges a [`Horizon`] snapshot — the liveness oracle proper, shared by
+/// the simulator ([`check_liveness`]) and the threaded runtime.
+#[must_use]
+pub fn check_horizon(horizon: &Horizon) -> LivenessReport {
     let mut report = LivenessReport::default();
-    if !drained {
-        report
-            .violations
-            .push(LivenessViolation::HorizonExhausted { events: world.metrics().events_processed });
+    if !horizon.drained {
+        report.violations.push(LivenessViolation::HorizonExhausted { events: horizon.events });
         return report;
     }
-    let injected = world.requests_injected();
-    let served = world.metrics().cs_entries;
-    let abandoned = world.metrics().requests_abandoned;
-    let starved = served + abandoned != injected;
+    let starved = horizon.served + horizon.abandoned != horizon.injected;
     if starved {
-        report.violations.push(LivenessViolation::Starvation { injected, served, abandoned });
+        report.violations.push(LivenessViolation::Starvation {
+            injected: horizon.injected,
+            served: horizon.served,
+            abandoned: horizon.abandoned,
+        });
     }
     let mut stuck = Vec::new();
-    for id in NodeId::all(world.len()) {
-        if world.is_alive(id) && !world.node(id).is_idle() {
+    for state in &horizon.nodes {
+        if state.alive && !state.idle {
             stuck.push(LivenessViolation::StuckNode {
-                node: id,
-                recovered: world.has_recovered(id),
+                node: state.node,
+                recovered: state.recovered,
             });
         }
     }
     // Token conservation is demand-gated: with every request served and
     // every node idle, an absent token is the lazy-regeneration rest
     // state, not a failure (see the module docs).
-    let live_nodes = world.live_nodes();
-    if live_nodes > 0 && world.live_token_census() == 0 && (starved || !stuck.is_empty()) {
+    let live_nodes = horizon.live_nodes();
+    if live_nodes > 0 && horizon.live_token_census == 0 && (starved || !stuck.is_empty()) {
         report.violations.push(LivenessViolation::TokenLost { live_nodes });
     }
     report.violations.extend(stuck);

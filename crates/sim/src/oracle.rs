@@ -53,8 +53,14 @@ impl OracleReport {
 }
 
 /// Tracks CS occupancy and live-token counts across a run.
-#[derive(Debug)]
-pub(crate) struct Oracle {
+///
+/// Public so that *any* substrate can be judged by the same code: the
+/// simulator feeds it from virtual-time state changes, and the threaded
+/// runtime (`oc-runtime`) feeds it the linearized records of its monitor
+/// (the monitor lock's acquisition order is the linearization). The
+/// oracle itself never cares which substrate produced an event.
+#[derive(Debug, Default)]
+pub struct Oracle {
     /// Every node currently inside the CS, in entry order. Normally empty
     /// or a single element; anything longer *is* a violation, and keeping
     /// the whole set (rather than only the first occupant) means every
@@ -66,12 +72,14 @@ pub(crate) struct Oracle {
 }
 
 impl Oracle {
-    pub(crate) fn new() -> Self {
+    /// A fresh oracle with no observations.
+    #[must_use]
+    pub fn new() -> Self {
         Oracle { occupants: Vec::new(), report: OracleReport::default() }
     }
 
     /// A node enters the critical section.
-    pub(crate) fn enter_cs(&mut self, at: SimTime, node: NodeId) {
+    pub fn enter_cs(&mut self, at: SimTime, node: NodeId) {
         if let Some(&occupant) = self.occupants.first() {
             self.report.violations.push(Violation::MutualExclusion {
                 at,
@@ -83,19 +91,49 @@ impl Oracle {
     }
 
     /// A node leaves the critical section (or crashes inside it).
-    pub(crate) fn exit_cs(&mut self, node: NodeId) {
+    pub fn exit_cs(&mut self, node: NodeId) {
         self.occupants.retain(|occupant| *occupant != node);
     }
 
     /// Periodic token census: `count` live tokens exist right now.
-    pub(crate) fn token_census(&mut self, at: SimTime, count: usize) {
+    pub fn token_census(&mut self, at: SimTime, count: usize) {
         if count > 1 {
             self.report.violations.push(Violation::TokenDuplication { at, count });
         }
     }
 
-    pub(crate) fn report(&self) -> &OracleReport {
+    /// The report accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> &OracleReport {
         &self.report
+    }
+
+    /// Consumes the oracle, yielding its report.
+    #[must_use]
+    pub fn into_report(self) -> OracleReport {
+        self.report
+    }
+
+    /// Replays the critical-section occupancy of a recorded [`Trace`]
+    /// through a fresh oracle: every `EnterCs`/`ExitCs` record is fed in
+    /// log order, and a `Crash` vacates the crashed node's occupancy
+    /// exactly as the simulator does when a node dies inside its CS.
+    ///
+    /// This judges *mutual exclusion only* — a trace does not carry token
+    /// custody, so token-uniqueness needs a live census feed (the
+    /// simulator's per-event census, or the runtime's terminal census).
+    #[must_use]
+    pub fn replay_cs(trace: &crate::trace::Trace) -> OracleReport {
+        let mut oracle = Oracle::new();
+        for (at, record) in trace.records() {
+            match record {
+                crate::trace::TraceRecord::EnterCs(node) => oracle.enter_cs(*at, *node),
+                crate::trace::TraceRecord::ExitCs(node)
+                | crate::trace::TraceRecord::Crash(node) => oracle.exit_cs(*node),
+                _ => {}
+            }
+        }
+        oracle.report
     }
 }
 
@@ -169,6 +207,27 @@ mod tests {
         // Node 1 is still inside: a new entry is a violation.
         o.enter_cs(SimTime::from_ticks(3), NodeId::new(3));
         assert_eq!(o.report().violations().len(), 2);
+    }
+
+    #[test]
+    fn replay_cs_matches_live_feeding() {
+        use crate::trace::{Trace, TraceRecord};
+        let mut trace = Trace::new(true);
+        trace.push(SimTime::from_ticks(1), TraceRecord::EnterCs(NodeId::new(1)));
+        trace.push(SimTime::from_ticks(2), TraceRecord::EnterCs(NodeId::new(2)));
+        trace.push(SimTime::from_ticks(3), TraceRecord::Crash(NodeId::new(1)));
+        trace.push(SimTime::from_ticks(4), TraceRecord::ExitCs(NodeId::new(2)));
+        trace.push(SimTime::from_ticks(5), TraceRecord::EnterCs(NodeId::new(3)));
+        trace.push(SimTime::from_ticks(6), TraceRecord::ExitCs(NodeId::new(3)));
+        let report = Oracle::replay_cs(&trace);
+        // Exactly one violation: node 2 intruding on node 1. The crash
+        // vacates node 1, so node 3's entry after node 2's exit is clean.
+        assert_eq!(report.violations().len(), 1);
+        assert!(matches!(
+            report.violations()[0],
+            Violation::MutualExclusion { occupant, intruder, .. }
+                if occupant == NodeId::new(1) && intruder == NodeId::new(2)
+        ));
     }
 
     #[test]

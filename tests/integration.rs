@@ -155,9 +155,10 @@ fn simulator_and_threaded_runtime_agree_on_outcomes() {
         rt.request_cs(NodeId::new(i));
     }
     assert!(rt.await_cs_entries(n as u64, Duration::from_secs(60)));
+    assert!(rt.await_settled(Duration::from_secs(60)));
     let report = rt.shutdown();
     assert_eq!(report.cs_entries, n as u64);
-    assert!(report.mutual_exclusion_held);
+    assert!(report.is_clean(), "oracles: {report:?}");
 }
 
 #[test]

@@ -1,0 +1,172 @@
+//! Differential sim-vs-runtime conformance.
+//!
+//! The same protocol instances, the same `ArrivalSchedule`, and the same
+//! `FailurePlan` run once through the deterministic simulator (`World`)
+//! and once through the threaded lock service (`Runtime`). Both
+//! executions must:
+//!
+//! * pass the safety oracle (mutual exclusion, token uniqueness) and the
+//!   liveness oracle (starvation, token conservation, stuck nodes) — the
+//!   *same* oracle code judges both substrates;
+//! * serve every injected request (`requests_abandoned == 0` — the
+//!   scenarios are built so nothing is pending at a crash);
+//! * reach the same CS-entry count and the same terminal token census.
+//!
+//! Scenario shape: every node requests once at a gap wide enough that
+//! service keeps pace with arrivals (the paper's near-sequential
+//! regime), optionally followed by a crash+recovery of a victim long
+//! after the workload has drained, and a final post-recovery request
+//! from the victim — which exercises re-join (and, when the victim died
+//! holding the resting token, lazy regeneration) on both substrates.
+
+use std::time::Duration;
+
+use opencube::algo::{Config, OpenCubeNode};
+use opencube::runtime::{Runtime, RuntimeConfig, RuntimeReport};
+use opencube::sim::{
+    check_liveness, ArrivalSchedule, DelayModel, FailurePlan, SimConfig, SimDuration, SimTime,
+    World,
+};
+use opencube::topology::NodeId;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Protocol δ in ticks.
+const DELTA: u64 = 40;
+/// Critical-section length in ticks.
+const CS: u64 = 50;
+/// Suspicion slack in ticks (covers queueing jitter; 20 ms of wall time
+/// at the runtime tick below).
+const SLACK: u64 = 4_000;
+/// Arrival gap in ticks — wider than a request round-trip, so service
+/// keeps pace with arrivals on both substrates.
+const GAP: u64 = 1_000;
+/// Wall-clock length of one tick in the runtime.
+const TICK: Duration = Duration::from_micros(5);
+
+fn protocol_config(n: usize) -> Config {
+    Config::new(n, SimDuration::from_ticks(DELTA), SimDuration::from_ticks(CS))
+        .with_contention_slack(SimDuration::from_ticks(SLACK))
+}
+
+struct SimOutcome {
+    cs_entries: u64,
+    census: usize,
+}
+
+fn run_sim(n: usize, schedule: &ArrivalSchedule, plan: &FailurePlan, seed: u64) -> SimOutcome {
+    let mut world = World::new(
+        SimConfig {
+            delay: DelayModel::Uniform {
+                min: SimDuration::from_ticks(1),
+                max: SimDuration::from_ticks(DELTA),
+            },
+            cs_duration: SimDuration::from_ticks(CS),
+            seed,
+            max_events: 50_000_000,
+            ..SimConfig::default()
+        },
+        OpenCubeNode::build_all(protocol_config(n)),
+    );
+    world.schedule_workload(schedule);
+    world.schedule_failures(plan);
+    let drained = world.run_to_quiescence();
+    assert!(drained, "sim did not quiesce at n={n}");
+    assert!(
+        world.oracle_report().is_clean(),
+        "sim safety violations at n={n}: {:?}",
+        world.oracle_report().violations()
+    );
+    let liveness = check_liveness(&world, drained);
+    assert!(liveness.is_clean(), "sim liveness violations at n={n}: {:?}", liveness.violations());
+    assert_eq!(world.metrics().requests_abandoned, 0, "conformance scenarios abandon nothing");
+    SimOutcome { cs_entries: world.metrics().cs_entries, census: world.live_token_census() }
+}
+
+fn run_runtime(n: usize, schedule: &ArrivalSchedule, plan: &FailurePlan) -> RuntimeReport {
+    let rt = Runtime::start(
+        RuntimeConfig {
+            workers: 8,
+            tick: TICK,
+            // δ = 40 ticks × 5µs = 200µs ≥ the router's max delay.
+            max_network_delay: Duration::from_micros(100),
+            cs_duration: TICK * CS as u32,
+            seed: 7,
+            ..RuntimeConfig::default()
+        },
+        OpenCubeNode::build_all(protocol_config(n)),
+    );
+    let ids = rt.schedule_workload(schedule);
+    assert_eq!(ids.len(), schedule.len());
+    rt.schedule_failures(plan);
+    assert!(
+        rt.await_settled(Duration::from_secs(120)),
+        "runtime did not settle at n={n} (cs_entries={})",
+        rt.cs_entries()
+    );
+    rt.shutdown()
+}
+
+/// Runs one differential cell and cross-checks the two substrates.
+fn conformance(n: usize, with_crash: bool) {
+    let mut rng = StdRng::seed_from_u64(n as u64 * 31 + u64::from(with_crash));
+    let mut schedule = ArrivalSchedule::every_node_once(&mut rng, n, SimDuration::from_ticks(GAP));
+    let mut plan = FailurePlan::none();
+    if with_crash {
+        // Crash a victim long after the workload drained (nothing can be
+        // pending on it), recover it, then have it request once more —
+        // the re-join/regeneration path, exercised identically on both
+        // substrates.
+        let victim = NodeId::new((n / 2) as u32);
+        let crash_at = n as u64 * GAP + 20_000;
+        plan = plan.crash_and_recover(
+            victim,
+            SimTime::from_ticks(crash_at),
+            SimTime::from_ticks(crash_at + 5_000),
+        );
+        schedule = schedule.then(SimTime::from_ticks(crash_at + 30_000), victim);
+    }
+
+    let sim = run_sim(n, &schedule, &plan, 42);
+    let expected_entries = schedule.len() as u64;
+    assert_eq!(sim.cs_entries, expected_entries, "sim served everything exactly once");
+
+    let report = run_runtime(n, &schedule, &plan);
+    assert!(
+        report.is_clean(),
+        "runtime oracle violations at n={n} crash={with_crash}: safety={:?} liveness={:?}",
+        report.safety.violations(),
+        report.liveness.violations()
+    );
+    assert!(report.drained);
+    assert_eq!(report.requests_abandoned, 0, "n={n} crash={with_crash}");
+    assert_eq!(report.cs_entries, sim.cs_entries, "n={n} crash={with_crash}");
+    assert_eq!(report.requests_completed, sim.cs_entries, "n={n} crash={with_crash}");
+    assert_eq!(report.terminal_token_census, sim.census, "n={n} crash={with_crash}");
+    if with_crash {
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.recoveries, 1);
+    }
+    // Latency accounting is complete: one sample per served request.
+    assert_eq!(report.latency.count, expected_entries);
+    assert!(report.latency.p50_nanos <= report.latency.p99_nanos);
+    assert!(report.latency.p99_nanos <= report.latency.p999_nanos);
+    assert!(report.latency.p999_nanos <= report.latency.max_nanos);
+}
+
+#[test]
+fn conformance_n16() {
+    conformance(16, false);
+    conformance(16, true);
+}
+
+#[test]
+fn conformance_n64() {
+    conformance(64, false);
+    conformance(64, true);
+}
+
+#[test]
+fn conformance_n256() {
+    conformance(256, false);
+    conformance(256, true);
+}
