@@ -40,10 +40,19 @@ safety and liveness oracle suite, sharded across worker threads.
   --loss        also sample message-loss windows (violates the paper's
                 reliable-channel model: violations become expected
                 findings and do not fail the exit code)
+  --partitions  also sample scripted partition/heal phases (p-group cuts,
+                arbitrary node-set splits) in the serial healed regime.
+                A cut destroys messages between live nodes, violating the
+                reliable-channel model: violations (the healed-partition
+                double-mint) become expected findings and do not fail the
+                exit code
   --hard        also sample overlapping crash waves (outside the paper's
                 repeated-single-failure model: violations become expected
                 findings and do not fail the exit code)
   --json        write BENCH_CHECK.json
+  --out PATH    write the --json artifact to PATH instead (implies
+                --json; the partition battery commits BENCH_PART.json,
+                keeping BENCH_CHECK.json the default battery's artifact)
   --help        this message
 ";
 
@@ -53,7 +62,9 @@ struct Options {
     threads: usize,
     loss: bool,
     hard: bool,
+    partitions: bool,
     json: bool,
+    out: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -63,7 +74,9 @@ fn parse_options(args: &[String]) -> Options {
         threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         loss: false,
         hard: false,
+        partitions: false,
         json: false,
+        out: None,
     };
     let mut parser = FlagParser::new(USAGE, args);
     while let Some(flag) = parser.next_flag() {
@@ -89,6 +102,10 @@ fn parse_options(args: &[String]) -> Options {
                 });
                 continue;
             }
+            "--out" => {
+                options.out = Some(parser.value(&flag, "a file path"));
+                continue;
+            }
             _ => {}
         }
         parser.no_value(&flag);
@@ -99,9 +116,15 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--loss" => options.loss = true,
             "--hard" => options.hard = true,
+            "--partitions" => options.partitions = true,
             "--json" => options.json = true,
             _ => parser.usage_error(&format!("unknown flag: {:?}", flag.raw)),
         }
+    }
+    // A destination implies the artifact: --out without --json would
+    // silently write nothing.
+    if options.out.is_some() {
+        options.json = true;
     }
     options
 }
@@ -119,6 +142,7 @@ struct Cell {
     crashes: u64,
     recoveries: u64,
     lost_to_faults: u64,
+    lost_to_partition: u64,
     duplicated: u64,
 }
 
@@ -132,6 +156,7 @@ struct SizeAgg {
     crashes: u64,
     recoveries: u64,
     lost_to_faults: u64,
+    lost_to_partition: u64,
     duplicated: u64,
     violations: u64,
 }
@@ -139,15 +164,20 @@ struct SizeAgg {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = parse_options(&args);
-    let space =
-        Space { allow_loss: options.loss, overlapping_crashes: options.hard, ..Space::default() };
+    let space = Space {
+        allow_loss: options.loss,
+        overlapping_crashes: options.hard,
+        partitions: options.partitions,
+        ..Space::default()
+    };
 
     println!(
-        "== explore: {} scenario(s), master seed {}, loss {}, hard {} ==\n",
+        "== explore: {} scenario(s), master seed {}, loss {}, hard {}, partitions {} ==\n",
         options.budget,
         options.master_seed,
         if options.loss { "on" } else { "off" },
         if options.hard { "on" } else { "off" },
+        if options.partitions { "on" } else { "off" },
     );
     let indices: Vec<u64> = (0..options.budget).collect();
     let outcome = sweep::sweep(&indices, options.threads, |_, &index| {
@@ -164,6 +194,7 @@ fn main() {
             crashes: run.crashes,
             recoveries: run.recoveries,
             lost_to_faults: run.lost_to_faults,
+            lost_to_partition: run.lost_to_partition,
             duplicated: run.duplicated,
         }
     });
@@ -182,6 +213,7 @@ fn main() {
         agg.crashes += cell.crashes;
         agg.recoveries += cell.recoveries;
         agg.lost_to_faults += cell.lost_to_faults;
+        agg.lost_to_partition += cell.lost_to_partition;
         agg.duplicated += cell.duplicated;
         agg.violations += cell.violations;
         if !cell.clean {
@@ -190,7 +222,7 @@ fn main() {
     }
 
     println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>7} {:>6} {:>10}",
+        "{:>6} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>7} {:>7} {:>6} {:>10}",
         "N",
         "scenarios",
         "events",
@@ -199,12 +231,13 @@ fn main() {
         "crashes",
         "recover",
         "lost",
+        "plost",
         "dup",
         "violations"
     );
     for (n, agg) in &by_size {
         println!(
-            "{:>6} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>7} {:>6} {:>10}",
+            "{:>6} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>7} {:>7} {:>6} {:>10}",
             n,
             agg.scenarios,
             agg.events,
@@ -213,6 +246,7 @@ fn main() {
             agg.crashes,
             agg.recoveries,
             agg.lost_to_faults,
+            agg.lost_to_partition,
             agg.duplicated,
             agg.violations,
         );
@@ -224,13 +258,14 @@ fn main() {
     // The thread-invariant one-line summary CI compares byte-for-byte
     // across `--threads` values (no wall-clock terms on purpose).
     println!(
-        "\nsummary budget={} seed={} loss={} hard={} scenarios={} failures={} violations={} \
-         events={} messages={} cs={} crashes={} recoveries={} lost={} dup={} \
-         fingerprint={fingerprint:#018x}",
+        "\nsummary budget={} seed={} loss={} hard={} partitions={} scenarios={} failures={} \
+         violations={} events={} messages={} cs={} crashes={} recoveries={} lost={} plost={} \
+         dup={} fingerprint={fingerprint:#018x}",
         options.budget,
         options.master_seed,
         u8::from(options.loss),
         u8::from(options.hard),
+        u8::from(options.partitions),
         outcome.results.len(),
         failures.len(),
         total_violations,
@@ -240,6 +275,7 @@ fn main() {
         totals(|agg| agg.crashes),
         totals(|agg| agg.recoveries),
         totals(|agg| agg.lost_to_faults),
+        totals(|agg| agg.lost_to_partition),
         totals(|agg| agg.duplicated),
     );
     println!(
@@ -292,6 +328,7 @@ fn main() {
                     ("crashes", json::Value::UInt(agg.crashes)),
                     ("recoveries", json::Value::UInt(agg.recoveries)),
                     ("lost_to_faults", json::Value::UInt(agg.lost_to_faults)),
+                    ("lost_to_partition", json::Value::UInt(agg.lost_to_partition)),
                     ("duplicated_deliveries", json::Value::UInt(agg.duplicated)),
                     ("violations", json::Value::UInt(agg.violations)),
                 ])
@@ -311,6 +348,7 @@ fn main() {
             ("budget", json::Value::UInt(options.budget)),
             ("loss", json::Value::Bool(options.loss)),
             ("hard", json::Value::Bool(options.hard)),
+            ("partitions", json::Value::Bool(options.partitions)),
             ("failures", json::Value::UInt(failures.len() as u64)),
             ("violations", json::Value::UInt(total_violations)),
             ("fingerprint", json::Value::str(format!("{fingerprint:#018x}"))),
@@ -318,23 +356,28 @@ fn main() {
         ];
         let doc =
             oc_bench::bench_artifact("check", options.master_seed, false, &outcome, rows, extra);
-        let path = std::path::Path::new("BENCH_CHECK.json");
-        match doc.write_file(path) {
-            Ok(()) => println!("   wrote BENCH_CHECK.json"),
+        let path = options.out.as_deref().unwrap_or("BENCH_CHECK.json");
+        match doc.write_file(std::path::Path::new(path)) {
+            Ok(()) => println!("   wrote {path}"),
             Err(err) => {
-                eprintln!("error: could not write BENCH_CHECK.json: {err}");
+                eprintln!("error: could not write {path}: {err}");
                 std::process::exit(1);
             }
         }
     }
 
     if !failures.is_empty() {
-        if options.loss || options.hard {
+        if options.loss || options.hard || options.partitions {
             // Probe modes step outside the paper's model on purpose:
             // violations there are expected findings, reported above but
             // not a failing exit — only the default battery is a gate.
+            // (A partition destroys messages between live nodes, so it
+            // violates the reliable-channel assumption exactly like loss;
+            // the healed-partition double-mint is the expected finding —
+            // see DESIGN.md, "Fault scripting & partition semantics".)
             println!(
-                "\n{} failing scenario(s): expected findings in probe mode (loss/hard)",
+                "\n{} failing scenario(s): expected findings in probe mode \
+                 (loss/hard/partitions)",
                 failures.len()
             );
         } else {

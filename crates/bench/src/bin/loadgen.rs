@@ -35,11 +35,12 @@ runtime, reporting latency quantiles, throughput, and oracle verdicts.
   --rate R        custom cell: open-loop requests/second
   --clients C     custom cell: closed-loop client count
   --churn K       custom cell: crash/recovery pairs across the window
+  --partitions K  custom cell: partition/heal cycles across the window
   --help          this message
 
 Without --n/--rate/--clients the standard battery runs (open loop at
-two scales, closed-loop saturation, open loop under churn); --quick
-shrinks it. A custom cell needs --n plus exactly one of --rate or
+two scales, closed-loop saturation, open loop under crash churn, open
+loop under partition churn); --quick shrinks it. A custom cell needs --n plus exactly one of --rate or
 --clients.
 ";
 
@@ -53,6 +54,7 @@ struct Options {
     rate: Option<u64>,
     clients: Option<usize>,
     churn: usize,
+    partitions: usize,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -66,11 +68,13 @@ fn parse_options(args: &[String]) -> Options {
         rate: None,
         clients: None,
         churn: 0,
+        partitions: 0,
     };
     let mut parser = FlagParser::new(USAGE, args);
     while let Some(flag) = parser.next_flag() {
         match flag.name.as_str() {
-            "--seed" | "--n" | "--workers" | "--duration" | "--rate" | "--clients" | "--churn" => {
+            "--seed" | "--n" | "--workers" | "--duration" | "--rate" | "--clients" | "--churn"
+            | "--partitions" => {
                 let value = parser.value(&flag, "a number");
                 let bad = |parser: &FlagParser| -> ! {
                     parser.usage_error(&format!("invalid {} value: {value:?}", flag.name));
@@ -111,6 +115,9 @@ fn parse_options(args: &[String]) -> Options {
                     }
                     "--churn" => {
                         options.churn = value.parse().unwrap_or_else(|_| bad(&parser));
+                    }
+                    "--partitions" => {
+                        options.partitions = value.parse().unwrap_or_else(|_| bad(&parser));
                     }
                     _ => unreachable!(),
                 }
@@ -158,6 +165,7 @@ fn main() {
                 duration: Duration::from_secs_f64(options.duration_secs),
                 mode,
                 churn_crashes: options.churn,
+                partition_cycles: options.partitions,
                 seed: options.seed,
             }]
         }
@@ -171,11 +179,12 @@ fn main() {
         if options.quick { ", quick" } else { "" },
     );
     println!(
-        "{:>12} {:>6} {:>3} {:>6} {:>9} {:>9} {:>5} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6}",
+        "{:>12} {:>6} {:>3} {:>6} {:>5} {:>9} {:>9} {:>5} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6}",
         "mode",
         "n",
         "wrk",
         "churn",
+        "cuts",
         "injected",
         "served",
         "aband",
@@ -192,11 +201,12 @@ fn main() {
     for cell in &cells {
         let row = run_cell(cell);
         println!(
-            "{:>12} {:>6} {:>3} {:>6} {:>9} {:>9} {:>5} {:>10.0} {:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>6}",
+            "{:>12} {:>6} {:>3} {:>6} {:>5} {:>9} {:>9} {:>5} {:>10.0} {:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>6}",
             row.mode,
             row.n,
             row.workers,
             row.churn_crashes,
+            row.partition_cycles,
             row.injected,
             row.served,
             row.abandoned,

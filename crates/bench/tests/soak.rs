@@ -18,6 +18,7 @@ fn soak_n1024_with_crash_churn_is_clean() {
         duration: Duration::from_secs(60),
         mode: LoadMode::Open { rate_per_sec: 200 },
         churn_crashes: 20,
+        partition_cycles: 0,
         seed: 42,
     });
 

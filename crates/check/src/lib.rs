@@ -47,8 +47,8 @@ mod scenario;
 mod shrink;
 mod threaded;
 
-pub use run::{run_scenario, Outcome};
-pub use scenario::{Scenario, ScenarioCrash, Space};
+pub use run::{run_scenario, run_scenario_with, Outcome};
+pub use scenario::{Scenario, ScenarioCrash, ScenarioPhase, ScenarioPhaseKind, Space};
 pub use shrink::{shrink, ShrinkResult};
 pub use threaded::{run_scenario_runtime, RuntimeProfile};
 

@@ -2,8 +2,8 @@
 
 use oc_algo::{Config, Mutation, OpenCubeNode};
 use oc_sim::{
-    check_liveness, DelayModel, LinkFaults, LivenessReport, OracleReport, SimConfig, SimDuration,
-    SimTime, World,
+    check_liveness, DelayModel, LinkFaults, LivenessReport, OracleReport, Protocol, SimConfig,
+    SimDuration, SimTime, World,
 };
 use oc_topology::NodeId;
 
@@ -33,6 +33,8 @@ pub struct Outcome {
     pub abandoned: u64,
     /// Messages dropped by the loss fault.
     pub lost_to_faults: u64,
+    /// Messages destroyed at a scripted partition boundary.
+    pub lost_to_partition: u64,
     /// Extra deliveries injected by the duplication fault.
     pub duplicated: u64,
     /// The safety oracle's report (mutual exclusion, token uniqueness).
@@ -70,6 +72,7 @@ impl Outcome {
             self.recoveries,
             self.abandoned,
             self.lost_to_faults,
+            self.lost_to_partition,
             self.duplicated,
         ] {
             hash.write_u64(word);
@@ -85,16 +88,36 @@ impl Outcome {
 }
 
 /// Runs one scenario to quiescence and returns its oracle verdict — a
-/// pure function of `(scenario, mutation)`.
+/// pure function of `(scenario, mutation)` over the open-cube protocol.
 #[must_use]
 pub fn run_scenario(scenario: &Scenario, mutation: Mutation) -> Outcome {
-    let cfg = Config::new(
-        scenario.n,
-        SimDuration::from_ticks(scenario.delay_max),
-        SimDuration::from_ticks(scenario.cs_ticks),
-    )
-    .with_contention_slack(SimDuration::from_ticks(scenario.contention_slack))
-    .with_mutation(mutation);
+    run_scenario_with(scenario, |s| {
+        let cfg = Config::new(
+            s.n,
+            SimDuration::from_ticks(s.delay_max),
+            SimDuration::from_ticks(s.cs_ticks),
+        )
+        .with_contention_slack(SimDuration::from_ticks(s.contention_slack))
+        .with_mutation(mutation);
+        OpenCubeNode::build_all(cfg)
+    })
+}
+
+/// Runs one scenario against an arbitrary [`Protocol`] and returns its
+/// oracle verdict — the same substrate, channel model, fault script, and
+/// oracle suite as [`run_scenario`], with the node construction supplied
+/// by the caller. This is what the baseline batteries drive Raymond and
+/// Naimi-Trehel through: the oracles are protocol-agnostic, so every
+/// algorithm gets the full judgement, not just the open cube.
+///
+/// A pure function of `(scenario, build)`: equal scenarios with equal
+/// builders produce equal outcomes, bit for bit.
+#[must_use]
+pub fn run_scenario_with<P, F>(scenario: &Scenario, build: F) -> Outcome
+where
+    P: Protocol,
+    F: FnOnce(&Scenario) -> Vec<P>,
+{
     let sim = SimConfig {
         delay: DelayModel::Uniform {
             min: SimDuration::from_ticks(scenario.delay_min),
@@ -110,9 +133,10 @@ pub fn run_scenario(scenario: &Scenario, mutation: Mutation) -> Outcome {
             loss_per_mille: scenario.loss_per_mille,
             duplicate_per_mille: scenario.duplicate_per_mille,
         },
+        script: scenario.fault_script(),
         ..SimConfig::default()
     };
-    let mut world = World::new(sim, OpenCubeNode::build_all(cfg));
+    let mut world = World::new(sim, build(scenario));
     for (at, node) in &scenario.arrivals {
         world.schedule_request(SimTime::from_ticks(*at), NodeId::new(*node));
     }
@@ -129,6 +153,7 @@ pub fn run_scenario(scenario: &Scenario, mutation: Mutation) -> Outcome {
         recoveries: metrics.recoveries,
         abandoned: metrics.requests_abandoned,
         lost_to_faults: metrics.lost_to_faults,
+        lost_to_partition: metrics.lost_to_partition,
         duplicated: metrics.duplicated_deliveries,
         safety: world.oracle_report().clone(),
         liveness,
@@ -155,6 +180,7 @@ mod tests {
             duplicate_per_mille: 0,
             arrivals: vec![(1, 2), (3, 3), (5, 4)],
             crashes: Vec::new(),
+            phases: Vec::new(),
         }
     }
 

@@ -1,6 +1,9 @@
 //! Scenario encoding, generation, and the portable `oc1-…` scenario ID.
 
-use oc_sim::{ArrivalSchedule, FailurePlan, SimDuration, SimTime, Workload};
+use oc_sim::{
+    ArrivalSchedule, FailurePlan, FaultPhase, FaultPhaseKind, FaultScript, SimDuration, SimTime,
+    Workload,
+};
 use oc_topology::NodeId;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
@@ -16,6 +19,52 @@ pub struct ScenarioCrash {
     /// Recovery time, in ticks (strictly after `at`), or `None` for a
     /// permanent failure.
     pub recover_at: Option<u64>,
+}
+
+/// One kind of scripted fault phase of a scenario — the scenario-level
+/// mirror of [`oc_sim::FaultPhaseKind`], in plain integers so it encodes
+/// into the `oc1-` ID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioPhaseKind {
+    /// Partition into the cube's aligned `2^p`-node groups.
+    GroupPartition {
+        /// Group level.
+        p: u32,
+    },
+    /// Split `members` (1-based identities) away from the rest.
+    Split {
+        /// The seceding block.
+        members: Vec<u32>,
+    },
+    /// One-way degradation: `from`-members' sends to `to`-members drop
+    /// with probability `loss_per_mille`/1000.
+    Degrade {
+        /// Source side.
+        from: Vec<u32>,
+        /// Destination side.
+        to: Vec<u32>,
+        /// Drop probability, 1/1000 units.
+        loss_per_mille: u16,
+    },
+    /// Uniform loss/duplication as a script phase.
+    LossDup {
+        /// Loss probability, 1/1000 units.
+        loss_per_mille: u16,
+        /// Duplication probability, 1/1000 units (tokens exempt).
+        duplicate_per_mille: u16,
+    },
+}
+
+/// One timed fault phase: active during `[from, until)` ticks, healed at
+/// `until`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioPhase {
+    /// Phase start (ticks, inclusive).
+    pub from: u64,
+    /// Phase end — the heal instant (ticks, exclusive).
+    pub until: u64,
+    /// What the phase does.
+    pub kind: ScenarioPhaseKind,
 }
 
 /// A complete, concrete adversarial scenario.
@@ -52,6 +101,12 @@ pub struct Scenario {
     pub arrivals: Vec<(u64, u32)>,
     /// The failure plan.
     pub crashes: Vec<ScenarioCrash>,
+    /// The scripted fault phases (partitions with heal events, one-way
+    /// degradation, loss/duplication), applied in order. Empty for every
+    /// scenario of a space without [`Space::partitions`] — and an empty
+    /// list encodes to exactly the pre-extension `oc1-` byte stream, so
+    /// old IDs decode, re-encode, and replay unchanged.
+    pub phases: Vec<ScenarioPhase>,
 }
 
 /// Bounds of the scenario space [`Scenario::generate`] samples from.
@@ -83,6 +138,16 @@ pub struct Space {
     /// EXPERIMENTS.md. Like loss, this mode is a probe, not a soundness
     /// check.
     pub overlapping_crashes: bool,
+    /// Sample scripted partition/heal phases (p-group cuts, arbitrary
+    /// splits, one-way degradation). **Off by default** so the default
+    /// space's scenarios stay byte-identical across releases. When on,
+    /// the sampled phases stay in the *serial healed* regime: every cut
+    /// heals well inside the suspicion budget, so no node can falsely
+    /// conclude a death while the partition stands — what the cut
+    /// *dropped* is then repaired by the Section 5 machinery after the
+    /// heal, the same soundness argument as short loss windows. Arbitrary
+    /// (long/permanent) cuts live behind `overlapping_crashes`.
+    pub partitions: bool,
     /// Per-scenario event cap.
     pub max_events: u64,
 }
@@ -96,6 +161,7 @@ impl Default for Space {
             allow_loss: false,
             allow_duplication: true,
             overlapping_crashes: false,
+            partitions: false,
             max_events: 2_000_000,
         }
     }
@@ -261,6 +327,54 @@ impl Scenario {
             }
         };
 
+        // Scripted partition/heal phases. Gated behind `space.partitions`
+        // so a space without them draws nothing here and its scenarios
+        // stay byte-identical. The default partition quadrant is the
+        // *serial healed* regime: each cut lasts at most half the
+        // suspicion slack (no false death conclusion can complete while
+        // it stands) and the next cut waits a full heal gap, mirroring
+        // the serial crash regime above. `overlapping_crashes` unlocks
+        // arbitrary durations — including permanent cuts, the scenarios
+        // that exercise the liveness oracle's unreachability accounting.
+        let mut phases = Vec::new();
+        if space.partitions && rng.random_range(0..2u32) == 0 {
+            let count = rng.random_range(1..=2usize);
+            let (max_dur, permanent_ok) = if space.overlapping_crashes {
+                (4 * span.max(2), true)
+            } else {
+                ((contention_slack / 2).max(2), false)
+            };
+            let mut at = rng.random_range(0..=span);
+            for _ in 0..count {
+                let dur = rng.random_range(1..=max_dur);
+                // The serial quadrant samples true cuts only; one-way
+                // degradation (loss in disguise) joins in the probe
+                // space, where violations are expected findings.
+                let kinds = if space.overlapping_crashes { 3 } else { 2 };
+                let kind = match rng.random_range(0..kinds as u32) {
+                    0 => ScenarioPhaseKind::GroupPartition { p: rng.random_range(0..pmax as u32) },
+                    1 => ScenarioPhaseKind::Split { members: random_subset(&mut rng, n) },
+                    _ => {
+                        let members = random_subset(&mut rng, n);
+                        let rest: Vec<u32> =
+                            (1..=n as u32).filter(|i| !members.contains(i)).collect();
+                        ScenarioPhaseKind::Degrade {
+                            from: members,
+                            to: rest,
+                            loss_per_mille: [250u16, 500, 1_000][rng.random_range(0..3usize)],
+                        }
+                    }
+                };
+                let until = if permanent_ok && rng.random_range(0..4u32) == 0 {
+                    u64::MAX
+                } else {
+                    at + dur
+                };
+                phases.push(ScenarioPhase { from: at, until, kind });
+                at = at + dur + heal_gap + rng.random_range(0..=span);
+            }
+        }
+
         Scenario {
             n,
             seed,
@@ -275,7 +389,42 @@ impl Scenario {
             duplicate_per_mille,
             arrivals,
             crashes,
+            phases,
         }
+    }
+
+    /// The scenario's fault script as the substrates consume it.
+    #[must_use]
+    pub fn fault_script(&self) -> FaultScript {
+        let mut script = FaultScript::none();
+        let ids = |nodes: &[u32]| nodes.iter().map(|i| NodeId::new(*i)).collect::<Vec<_>>();
+        for phase in &self.phases {
+            let kind = match &phase.kind {
+                ScenarioPhaseKind::GroupPartition { p } => FaultPhaseKind::GroupPartition { p: *p },
+                ScenarioPhaseKind::Split { members } => {
+                    FaultPhaseKind::Partition { blocks: vec![ids(members)] }
+                }
+                ScenarioPhaseKind::Degrade { from, to, loss_per_mille } => {
+                    FaultPhaseKind::Degrade {
+                        from: ids(from),
+                        to: ids(to),
+                        loss_per_mille: *loss_per_mille,
+                    }
+                }
+                ScenarioPhaseKind::LossDup { loss_per_mille, duplicate_per_mille } => {
+                    FaultPhaseKind::LossDup {
+                        loss_per_mille: *loss_per_mille,
+                        duplicate_per_mille: *duplicate_per_mille,
+                    }
+                }
+            };
+            script.push(FaultPhase {
+                from: SimTime::from_ticks(phase.from),
+                until: SimTime::from_ticks(phase.until),
+                kind,
+            });
+        }
+        script
     }
 
     /// The scenario's failure plan as the simulator consumes it.
@@ -330,6 +479,47 @@ impl Scenario {
                 }
             }
         }
+        // The phase section exists only when phases do: a phase-free
+        // scenario encodes to exactly the pre-extension byte stream, so
+        // every `oc1-` ID recorded before the extension re-encodes
+        // byte-identically (pinned by `old_ids_reencode_byte_identically`).
+        if !self.phases.is_empty() {
+            put(self.phases.len() as u64);
+            for phase in &self.phases {
+                put(phase.from);
+                put(phase.until);
+                match &phase.kind {
+                    ScenarioPhaseKind::GroupPartition { p } => {
+                        put(0);
+                        put(u64::from(*p));
+                    }
+                    ScenarioPhaseKind::Split { members } => {
+                        put(1);
+                        put(members.len() as u64);
+                        for member in members {
+                            put(u64::from(*member));
+                        }
+                    }
+                    ScenarioPhaseKind::Degrade { from, to, loss_per_mille } => {
+                        put(2);
+                        put(from.len() as u64);
+                        for member in from {
+                            put(u64::from(*member));
+                        }
+                        put(to.len() as u64);
+                        for member in to {
+                            put(u64::from(*member));
+                        }
+                        put(u64::from(*loss_per_mille));
+                    }
+                    ScenarioPhaseKind::LossDup { loss_per_mille, duplicate_per_mille } => {
+                        put(3);
+                        put(u64::from(*loss_per_mille));
+                        put(u64::from(*duplicate_per_mille));
+                    }
+                }
+            }
+        }
         let mut id = String::with_capacity(4 + bytes.len() * 2);
         id.push_str("oc1-");
         for byte in &bytes {
@@ -357,38 +547,75 @@ impl Scenario {
             })
             .collect::<Result<_, _>>()?;
         let mut cursor = 0usize;
-        let mut take = || read_varint(&bytes, &mut cursor);
-        let n = take()? as usize;
-        let seed = take()?;
-        let delay_min = take()?;
-        let delay_max = take()?;
-        let cs_ticks = take()?;
-        let contention_slack = take()?;
-        let max_events = take()?;
-        let lossy_from = take()?;
-        let lossy_until = take()?;
+        macro_rules! take {
+            () => {
+                read_varint(&bytes, &mut cursor)
+            };
+        }
+        let n = take!()? as usize;
+        let seed = take!()?;
+        let delay_min = take!()?;
+        let delay_max = take!()?;
+        let cs_ticks = take!()?;
+        let contention_slack = take!()?;
+        let max_events = take!()?;
+        let lossy_from = take!()?;
+        let lossy_until = take!()?;
         let loss_per_mille =
-            u16::try_from(take()?).map_err(|_| "loss_per_mille out of range".to_string())?;
+            u16::try_from(take!()?).map_err(|_| "loss_per_mille out of range".to_string())?;
         let duplicate_per_mille =
-            u16::try_from(take()?).map_err(|_| "duplicate_per_mille out of range".to_string())?;
-        let arrival_count = take()? as usize;
+            u16::try_from(take!()?).map_err(|_| "duplicate_per_mille out of range".to_string())?;
+        let arrival_count = take!()? as usize;
         let mut arrivals = Vec::with_capacity(arrival_count.min(1 << 20));
         for _ in 0..arrival_count {
-            let at = take()?;
-            let node = u32::try_from(take()?).map_err(|_| "arrival node out of range")?;
+            let at = take!()?;
+            let node = u32::try_from(take!()?).map_err(|_| "arrival node out of range")?;
             arrivals.push((at, node));
         }
-        let crash_count = take()? as usize;
+        let crash_count = take!()? as usize;
         let mut crashes = Vec::with_capacity(crash_count.min(1 << 20));
         for _ in 0..crash_count {
-            let node = u32::try_from(take()?).map_err(|_| "crash node out of range")?;
-            let at = take()?;
-            let recover_at = match take()? {
+            let node = u32::try_from(take!()?).map_err(|_| "crash node out of range")?;
+            let at = take!()?;
+            let recover_at = match take!()? {
                 0 => None,
-                1 => Some(take()?),
+                1 => Some(take!()?),
                 flag => return Err(format!("bad recovery flag {flag}")),
             };
             crashes.push(ScenarioCrash { node, at, recover_at });
+        }
+        // Pre-extension IDs end here; a phase section is optional.
+        let mut phases = Vec::new();
+        if cursor != bytes.len() {
+            let phase_count = take!()? as usize;
+            for _ in 0..phase_count {
+                let from = take!()?;
+                let until = take!()?;
+                let kind = match take!()? {
+                    0 => ScenarioPhaseKind::GroupPartition {
+                        p: u32::try_from(take!()?)
+                            .map_err(|_| "group level out of range".to_string())?,
+                    },
+                    1 => ScenarioPhaseKind::Split { members: node_list(&bytes, &mut cursor)? },
+                    2 => ScenarioPhaseKind::Degrade {
+                        from: node_list(&bytes, &mut cursor)?,
+                        to: node_list(&bytes, &mut cursor)?,
+                        loss_per_mille: u16::try_from(take!()?)
+                            .map_err(|_| "phase loss_per_mille out of range".to_string())?,
+                    },
+                    3 => ScenarioPhaseKind::LossDup {
+                        loss_per_mille: u16::try_from(take!()?)
+                            .map_err(|_| "phase loss_per_mille out of range".to_string())?,
+                        duplicate_per_mille: u16::try_from(take!()?)
+                            .map_err(|_| "phase duplicate_per_mille out of range".to_string())?,
+                    },
+                    tag => return Err(format!("bad phase kind {tag}")),
+                };
+                phases.push(ScenarioPhase { from, until, kind });
+            }
+            if phases.is_empty() {
+                return Err("a phase section must contain at least one phase".into());
+            }
         }
         if cursor != bytes.len() {
             return Err(format!("{} trailing byte(s) after the scenario", bytes.len() - cursor));
@@ -414,6 +641,36 @@ impl Scenario {
         if let Some(crash) = crashes.iter().find(|c| c.recover_at.is_some_and(|r| r <= c.at)) {
             return Err(format!("crash of node {} recovers before it fails", crash.node));
         }
+        for phase in &phases {
+            if phase.until <= phase.from {
+                return Err(format!(
+                    "phase [{}, {}) heals before it starts",
+                    phase.from, phase.until
+                ));
+            }
+            let check_nodes = |nodes: &[u32], what: &str| {
+                if nodes.is_empty() {
+                    return Err(format!("{what} node set of a phase is empty"));
+                }
+                match nodes.iter().find(|node| !(1..=n as u32).contains(node)) {
+                    Some(node) => Err(format!("{what} node {node} outside 1..={n}")),
+                    None => Ok(()),
+                }
+            };
+            match &phase.kind {
+                ScenarioPhaseKind::GroupPartition { p } => {
+                    if *p > oc_topology::dimension(n) {
+                        return Err(format!("group level {p} exceeds the dimension of {n}"));
+                    }
+                }
+                ScenarioPhaseKind::Split { members } => check_nodes(members, "split")?,
+                ScenarioPhaseKind::Degrade { from, to, .. } => {
+                    check_nodes(from, "degrade source")?;
+                    check_nodes(to, "degrade destination")?;
+                }
+                ScenarioPhaseKind::LossDup { .. } => {}
+            }
+        }
         Ok(Scenario {
             n,
             seed,
@@ -428,8 +685,36 @@ impl Scenario {
             duplicate_per_mille,
             arrivals,
             crashes,
+            phases,
         })
     }
+}
+
+/// A uniformly random nonempty proper subset of `1..=n`, sorted — the
+/// seceding block of a sampled `Split`/`Degrade` phase.
+fn random_subset(rng: &mut StdRng, n: usize) -> Vec<u32> {
+    let size = rng.random_range(1..=(n - 1).max(1));
+    let mut ids: Vec<u32> = (1..=n as u32).collect();
+    for k in 0..size {
+        let j = rng.random_range(k..ids.len());
+        ids.swap(k, j);
+    }
+    let mut members = ids[..size].to_vec();
+    members.sort_unstable();
+    members
+}
+
+/// Decodes one length-prefixed node list of a phase.
+fn node_list(bytes: &[u8], cursor: &mut usize) -> Result<Vec<u32>, String> {
+    let len = read_varint(bytes, cursor)? as usize;
+    let mut members = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        members.push(
+            u32::try_from(read_varint(bytes, cursor)?)
+                .map_err(|_| "phase node out of range".to_string())?,
+        );
+    }
+    Ok(members)
 }
 
 fn push_varint(bytes: &mut Vec<u8>, mut value: u64) {
@@ -493,6 +778,58 @@ mod tests {
             assert!(s.crashes.iter().all(|c| (1..=s.n as u32).contains(&c.node)));
             assert!(s.crashes.iter().all(|c| c.recover_at.is_none_or(|r| r > c.at)));
             assert_eq!(s.loss_per_mille, 0, "default space keeps loss off");
+            assert!(s.phases.is_empty(), "default space samples no partition phases");
+        }
+    }
+
+    #[test]
+    fn partition_space_samples_valid_healed_phases() {
+        let space = Space { partitions: true, ..Space::default() };
+        let mut seen_partitioned = 0usize;
+        for index in 0..256 {
+            let s = Scenario::generate(&space, 7, index);
+            if s.phases.is_empty() {
+                continue;
+            }
+            seen_partitioned += 1;
+            // Every sampled phase decodes through its own validation
+            // (roundtrip exercises the from_id checks) and stays in the
+            // serial healed regime: finite, no longer than half the
+            // suspicion slack.
+            for phase in &s.phases {
+                assert!(phase.until > phase.from);
+                assert!(
+                    phase.until - phase.from <= (s.contention_slack / 2).max(2),
+                    "phase outlives the healed regime: {phase:?} slack {}",
+                    s.contention_slack
+                );
+            }
+            // Consecutive phases are serial: the next begins after the
+            // previous heals.
+            for pair in s.phases.windows(2) {
+                assert!(pair[1].from >= pair[0].until, "phases overlap: {pair:?}");
+            }
+            let back = Scenario::from_id(&s.id()).expect("sampled phases must validate");
+            assert_eq!(back, s);
+        }
+        assert!(seen_partitioned > 50, "the partition quadrant must actually sample phases");
+    }
+
+    #[test]
+    fn partition_sampling_does_not_perturb_the_rest_of_the_scenario() {
+        // Turning partitions on may add phases but must not re-derive the
+        // workload/crash draws: the phase draws happen last.
+        let plain = Space::default();
+        let parts = Space { partitions: true, ..Space::default() };
+        for index in 0..64 {
+            let a = Scenario::generate(&plain, 11, index);
+            let b = Scenario::generate(&parts, 11, index);
+            assert_eq!(a.arrivals, b.arrivals, "index {index}");
+            assert_eq!(a.crashes, b.crashes, "index {index}");
+            assert_eq!(
+                (a.n, a.seed, a.delay_min, a.delay_max, a.cs_ticks, a.contention_slack),
+                (b.n, b.seed, b.delay_min, b.delay_max, b.cs_ticks, b.contention_slack),
+            );
         }
     }
 
@@ -508,13 +845,105 @@ mod tests {
 
     #[test]
     fn id_roundtrips_exactly() {
-        let space = Space { allow_loss: true, ..Space::default() };
+        let space = Space { allow_loss: true, partitions: true, ..Space::default() };
         for index in 0..256 {
             let s = Scenario::generate(&space, 11, index);
             let id = s.id();
             let back = Scenario::from_id(&id).expect("generated ids must decode");
             assert_eq!(s, back, "roundtrip mismatch for index {index}");
         }
+    }
+
+    #[test]
+    fn every_phase_kind_roundtrips() {
+        let base = Scenario::generate(&Space::default(), 1, 0);
+        let s = Scenario {
+            phases: vec![
+                ScenarioPhase {
+                    from: 5,
+                    until: 80,
+                    kind: ScenarioPhaseKind::GroupPartition { p: 1 },
+                },
+                ScenarioPhase {
+                    from: 90,
+                    until: u64::MAX,
+                    kind: ScenarioPhaseKind::Split { members: vec![1, 2] },
+                },
+                ScenarioPhase {
+                    from: 100,
+                    until: 200,
+                    kind: ScenarioPhaseKind::Degrade {
+                        from: vec![1],
+                        to: vec![2],
+                        loss_per_mille: 1_000,
+                    },
+                },
+                ScenarioPhase {
+                    from: 300,
+                    until: 400,
+                    kind: ScenarioPhaseKind::LossDup {
+                        loss_per_mille: 50,
+                        duplicate_per_mille: 400,
+                    },
+                },
+            ],
+            ..base
+        };
+        let back = Scenario::from_id(&s.id()).expect("phase-rich id must decode");
+        assert_eq!(back, s);
+        assert_eq!(back.fault_script().phases().len(), 4);
+    }
+
+    #[test]
+    fn phase_free_scenarios_encode_the_pre_extension_stream() {
+        // The codec extension is strictly additive: without phases, the
+        // byte stream (and thus every recorded `oc1-` ID) is unchanged.
+        let with = Scenario::generate(&Space::default(), 11, 3);
+        assert!(with.phases.is_empty());
+        let id = with.id();
+        let reencoded = Scenario::from_id(&id).unwrap().id();
+        assert_eq!(id, reencoded, "decode→encode must be the identity");
+    }
+
+    #[test]
+    fn malformed_phases_are_rejected() {
+        let base = Scenario::generate(&Space::default(), 1, 0);
+        let bad_window = Scenario {
+            phases: vec![ScenarioPhase {
+                from: 10,
+                until: 10,
+                kind: ScenarioPhaseKind::GroupPartition { p: 1 },
+            }],
+            ..base.clone()
+        };
+        assert!(Scenario::from_id(&bad_window.id()).unwrap_err().contains("heals before"));
+        let bad_level = Scenario {
+            phases: vec![ScenarioPhase {
+                from: 0,
+                until: 10,
+                kind: ScenarioPhaseKind::GroupPartition { p: 30 },
+            }],
+            ..base.clone()
+        };
+        assert!(Scenario::from_id(&bad_level.id()).unwrap_err().contains("group level"));
+        let empty_split = Scenario {
+            phases: vec![ScenarioPhase {
+                from: 0,
+                until: 10,
+                kind: ScenarioPhaseKind::Split { members: vec![] },
+            }],
+            ..base.clone()
+        };
+        assert!(Scenario::from_id(&empty_split.id()).unwrap_err().contains("empty"));
+        let alien = Scenario {
+            phases: vec![ScenarioPhase {
+                from: 0,
+                until: 10,
+                kind: ScenarioPhaseKind::Split { members: vec![base.n as u32 + 1] },
+            }],
+            ..base
+        };
+        assert!(Scenario::from_id(&alien.id()).unwrap_err().contains("outside"));
     }
 
     #[test]
@@ -535,9 +964,51 @@ mod tests {
             duplicate_per_mille: 0,
             arrivals: vec![(5, 3)],
             crashes: vec![ScenarioCrash { node: 1, at: 9, recover_at: Some(200) }],
+            phases: Vec::new(),
         };
         let id = s.id();
         assert_eq!(id, "oc1-04ac02010a3264e8070000000001050301010901c801");
+        assert_eq!(Scenario::from_id(&id).unwrap(), s);
+    }
+
+    #[test]
+    fn extended_id_format_is_pinned() {
+        // The golden ID of the phase section: changing the extension's
+        // encoding silently would orphan every recorded partition
+        // counterexample.
+        let s = Scenario {
+            n: 4,
+            seed: 300,
+            delay_min: 1,
+            delay_max: 10,
+            cs_ticks: 50,
+            contention_slack: 100,
+            max_events: 1_000,
+            lossy_from: 0,
+            lossy_until: 0,
+            loss_per_mille: 0,
+            duplicate_per_mille: 0,
+            arrivals: vec![(5, 3)],
+            crashes: Vec::new(),
+            phases: vec![
+                ScenarioPhase {
+                    from: 7,
+                    until: 40,
+                    kind: ScenarioPhaseKind::GroupPartition { p: 1 },
+                },
+                ScenarioPhase {
+                    from: 60,
+                    until: 90,
+                    kind: ScenarioPhaseKind::Degrade {
+                        from: vec![1, 2],
+                        to: vec![3],
+                        loss_per_mille: 500,
+                    },
+                },
+            ],
+        };
+        let id = s.id();
+        assert_eq!(id, "oc1-04ac02010a3264e807000000000105030002072800013c5a020201020103f403");
         assert_eq!(Scenario::from_id(&id).unwrap(), s);
     }
 

@@ -6,7 +6,7 @@ use oc_algo::Mutation;
 
 use crate::{
     run::{run_scenario, Outcome},
-    scenario::Scenario,
+    scenario::{Scenario, ScenarioPhase},
 };
 
 /// The result of shrinking one failing scenario.
@@ -126,18 +126,34 @@ fn candidates(scenario: &Scenario) -> Vec<Scenario> {
         }
         chunk /= 2;
     }
-    // 4. Halve the system, dropping events that reference removed nodes.
+    // 4. Halve the system, dropping events that reference removed nodes
+    //    (scripted phases are remapped: members above the fold are cut,
+    //    group levels clamped, and phases that become vacuous dropped).
     if scenario.n >= 4 {
         let half = scenario.n / 2;
         let mut candidate = scenario.clone();
         candidate.n = half;
         candidate.arrivals.retain(|(_, node)| *node <= half as u32);
         candidate.crashes.retain(|crash| crash.node <= half as u32);
+        candidate.phases =
+            scenario.phases.iter().filter_map(|phase| shrink_phase_to(phase, half)).collect();
         if !candidate.arrivals.is_empty() {
             out.push(candidate);
         }
     }
-    // 5. Strip the link faults.
+    // 5. Drop one scripted fault phase.
+    for index in 0..scenario.phases.len() {
+        let mut candidate = scenario.clone();
+        candidate.phases.remove(index);
+        out.push(candidate);
+    }
+    // 6. Strip the whole fault script at once.
+    if scenario.phases.len() > 1 {
+        let mut candidate = scenario.clone();
+        candidate.phases.clear();
+        out.push(candidate);
+    }
+    // 7. Strip the link faults.
     if scenario.loss_per_mille > 0 || scenario.duplicate_per_mille > 0 {
         let mut candidate = scenario.clone();
         candidate.lossy_from = 0;
@@ -147,6 +163,36 @@ fn candidates(scenario: &Scenario) -> Vec<Scenario> {
         out.push(candidate);
     }
     out
+}
+
+/// Remaps one scripted phase onto a halved system, or drops it when the
+/// remap would make it vacuous or malformed.
+fn shrink_phase_to(phase: &crate::scenario::ScenarioPhase, n: usize) -> Option<ScenarioPhase> {
+    use crate::scenario::ScenarioPhaseKind;
+    let keep = |nodes: &[u32]| -> Vec<u32> {
+        nodes.iter().copied().filter(|node| *node <= n as u32).collect()
+    };
+    let kind = match &phase.kind {
+        ScenarioPhaseKind::GroupPartition { p } => {
+            ScenarioPhaseKind::GroupPartition { p: (*p).min(oc_topology::dimension(n)) }
+        }
+        ScenarioPhaseKind::Split { members } => {
+            let members = keep(members);
+            if members.is_empty() {
+                return None;
+            }
+            ScenarioPhaseKind::Split { members }
+        }
+        ScenarioPhaseKind::Degrade { from, to, loss_per_mille } => {
+            let (from, to) = (keep(from), keep(to));
+            if from.is_empty() || to.is_empty() {
+                return None;
+            }
+            ScenarioPhaseKind::Degrade { from, to, loss_per_mille: *loss_per_mille }
+        }
+        ScenarioPhaseKind::LossDup { .. } => phase.kind.clone(),
+    };
+    Some(ScenarioPhase { from: phase.from, until: phase.until, kind })
 }
 
 #[cfg(test)]
@@ -177,6 +223,7 @@ mod tests {
                 ScenarioCrash { node: 5, at: 4_000, recover_at: Some(6_000) },
                 ScenarioCrash { node: 7, at: 9_000, recover_at: None },
             ],
+            phases: Vec::new(),
         }
     }
 

@@ -68,7 +68,7 @@ pub fn run_scenario_runtime(
     .with_contention_slack(SimDuration::from_ticks(scenario.contention_slack))
     .with_mutation(mutation);
 
-    let rt = Runtime::start(
+    let rt = Runtime::start_scripted(
         RuntimeConfig {
             workers: profile.workers,
             tick: profile.tick,
@@ -85,6 +85,9 @@ pub fn run_scenario_runtime(
             },
             record_trace: false,
         },
+        // The scenario's fault script, verbatim: phase windows are in
+        // ticks and the runtime evaluates them against its tick clock.
+        scenario.fault_script(),
         OpenCubeNode::build_all(cfg),
     );
 
@@ -106,6 +109,7 @@ pub fn run_scenario_runtime(
         recoveries: report.recoveries,
         abandoned: report.requests_abandoned,
         lost_to_faults: report.lost_to_faults,
+        lost_to_partition: report.lost_to_partition,
         duplicated: report.duplicated_deliveries,
         safety: report.safety,
         liveness: report.liveness,

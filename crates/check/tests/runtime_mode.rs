@@ -23,6 +23,7 @@ fn tiny_scenario() -> Scenario {
         duplicate_per_mille: 0,
         arrivals: vec![(1, 2), (3, 3), (5, 4)],
         crashes: Vec::new(),
+        phases: Vec::new(),
     }
 }
 
@@ -54,6 +55,7 @@ fn crash_scenario_conforms() {
     // oracles, a recovery counted.
     let scenario = Scenario {
         crashes: vec![ScenarioCrash { node: 4, at: 3_000, recover_at: Some(3_500) }],
+        phases: Vec::new(),
         ..tiny_scenario()
     };
     let sim = run_scenario(&scenario, Mutation::None);

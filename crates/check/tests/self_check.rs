@@ -119,6 +119,30 @@ const FIXED_COUNTEREXAMPLES: [(&str, &str); 6] = [
     ),
 ];
 
+/// The `oc1-` codec was extended with an optional phase section (the
+/// partition scripting PR). This pin is the backward-compat contract:
+/// every pre-extension ID still decodes, re-encodes to the *same
+/// bytes*, and replays through the engine deterministically — the
+/// golden fingerprint below must never drift while the ID format says
+/// `oc1` and the outcome schema is unchanged.
+#[test]
+fn old_ids_reencode_and_replay_byte_identically() {
+    for (name, id) in FIXED_COUNTEREXAMPLES {
+        let scenario = Scenario::from_id(id).expect("pre-extension id decodes");
+        assert!(scenario.phases.is_empty(), "{name}: old ids carry no phases");
+        assert_eq!(scenario.id(), id, "{name}: decode→encode must be the identity");
+    }
+    // One golden replay fingerprint, pinning that the extension changed
+    // nothing about how a phase-free scenario executes.
+    let scenario = Scenario::from_id(FIXED_COUNTEREXAMPLES[0].1).expect("decodes");
+    let outcome = run_scenario(&scenario, Mutation::None);
+    assert_eq!(
+        outcome.fingerprint(),
+        0x76db_61af_cf52_fe2b,
+        "token-at-rest replay drifted after the codec extension"
+    );
+}
+
 #[test]
 fn fixed_counterexamples_stay_fixed() {
     for (name, id) in FIXED_COUNTEREXAMPLES {
@@ -154,6 +178,7 @@ fn loss_outside_the_model_is_detected_not_absorbed() {
         duplicate_per_mille: 0,
         arrivals: vec![(1, 3)],
         crashes: Vec::new(),
+        phases: Vec::new(),
     };
     // The node's own request to its father is dropped in the window; the
     // claimant's suspicion machinery then heals by searching — so the

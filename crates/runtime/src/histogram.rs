@@ -233,4 +233,98 @@ mod tests {
         h.record(u64::MAX - 1);
         assert_eq!(h.quantile(1.0), u64::MAX);
     }
+
+    // ---- boundary buckets ----
+
+    #[test]
+    fn zero_sample_is_exact() {
+        // 0 lands in the first linear bucket and reads back as exactly 0
+        // at every quantile.
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max_nanos(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+        assert_eq!(h.mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn one_nanosecond_is_exact_and_distinct_from_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        assert_eq!(LatencyHistogram::bucket(1), 1);
+        assert_eq!(h.quantile(0.5), 1);
+        // The linear region is exact for every value below SUB.
+        for v in 0..SUB as u64 {
+            assert_eq!(LatencyHistogram::bucket(v), v as usize, "linear bucket for {v}");
+            assert_eq!(LatencyHistogram::bucket_ceiling(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn linear_to_log_transition_is_seamless() {
+        // SUB - 1 is the last exact bucket; SUB is the first log row.
+        let last_linear = LatencyHistogram::bucket(SUB as u64 - 1);
+        let first_log = LatencyHistogram::bucket(SUB as u64);
+        assert_eq!(last_linear, SUB - 1);
+        assert_eq!(first_log, SUB);
+        assert!(LatencyHistogram::bucket_ceiling(first_log) >= SUB as u64);
+        // Power-of-two edges never regress the bucket index.
+        for shift in 6..63u32 {
+            let below = LatencyHistogram::bucket((1u64 << shift) - 1);
+            let at = LatencyHistogram::bucket(1u64 << shift);
+            assert!(at >= below, "regression at 2^{shift}");
+        }
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_last_reachable_bucket() {
+        let bucket = LatencyHistogram::bucket(u64::MAX);
+        assert!(bucket < BUCKETS, "bucket {bucket} out of table ({BUCKETS})");
+        assert_eq!(LatencyHistogram::bucket_ceiling(bucket), u64::MAX);
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.max_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile_even_q_zero() {
+        // The rank clamp: q = 0.0 still returns the sample (rank 1), and
+        // the bucket ceiling is clamped to the exact max.
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_003);
+        for q in [0.0, 0.001, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 1_000_003, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_the_identity() {
+        let mut a = LatencyHistogram::new();
+        for i in [0u64, 1, 63, 64, 65, u64::MAX] {
+            a.record(i);
+        }
+        let before = (a.count(), a.max_nanos(), a.quantile(0.5));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!((a.count(), a.max_nanos(), a.quantile(0.5)), before);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), a.count());
+        assert_eq!(empty.quantile(0.999), a.quantile(0.999));
+    }
 }

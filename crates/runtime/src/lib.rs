@@ -72,9 +72,9 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use oc_sim::{
-    check_horizon, drive, drive_recovery, ActionSink, ArrivalSchedule, FailurePlan, Horizon,
-    MessageKind, NodeAtHorizon, NodeEvent, Oracle, Outbox, Protocol, SimDuration, SimTime,
-    TimerRow, Trace, TraceRecord,
+    check_horizon, drive, drive_recovery, isolation_from_components, ActionSink, ArrivalSchedule,
+    CompiledScript, FailurePlan, FaultScript, Horizon, LinkFate, MessageKind, NodeAtHorizon,
+    NodeEvent, Oracle, Outbox, Protocol, SimDuration, SimTime, TimerRow, Trace, TraceRecord,
 };
 use oc_topology::NodeId;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -178,6 +178,7 @@ struct Counters {
     recoveries: AtomicU64,
     lost_to_crashes: AtomicU64,
     lost_to_faults: AtomicU64,
+    lost_to_partition: AtomicU64,
     duplicated_deliveries: AtomicU64,
 }
 
@@ -197,6 +198,12 @@ struct Shared {
     /// worker after every command (crashed nodes read as idle — the
     /// liveness oracle only judges live nodes).
     idle: Vec<AtomicBool>,
+    /// The time-scripted fault program, compiled against the system size.
+    /// Phase windows are in protocol ticks, evaluated against
+    /// [`Shared::sim_now`] — the same script the simulator consumes, the
+    /// tick mapping doing ticks→wall. Empty by default: nothing injected,
+    /// no RNG draws.
+    script: CompiledScript,
     trace_enabled: bool,
     epoch: Instant,
     tick_nanos: u64,
@@ -261,7 +268,22 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
     /// Panics if a node's `id()` disagrees with its position, or if the
     /// config's `tick` is zero.
     #[must_use]
-    pub fn start(mut config: RuntimeConfig, nodes: Vec<P>) -> Self {
+    pub fn start(config: RuntimeConfig, nodes: Vec<P>) -> Self {
+        Runtime::start_scripted(config, FaultScript::none(), nodes)
+    }
+
+    /// Starts the runtime with a time-scripted fault program
+    /// ([`oc_sim::FaultScript`]): partitions, one-way degradation, and
+    /// loss/duplication phases whose windows are in protocol ticks —
+    /// the *same* script the simulator consumes, mapped onto the wall
+    /// clock through the configured `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Runtime::start`], or if the script references nodes
+    /// outside the system.
+    #[must_use]
+    pub fn start_scripted(mut config: RuntimeConfig, script: FaultScript, nodes: Vec<P>) -> Self {
         for (k, node) in nodes.iter().enumerate() {
             assert_eq!(node.id(), NodeId::new(k as u32 + 1), "node order mismatch");
         }
@@ -283,6 +305,7 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
             inflight: AtomicU64::new(0),
             tokens_in_flight: AtomicU64::new(0),
             idle: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            script: script.compile(n),
             trace_enabled: config.record_trace,
             epoch: Instant::now(),
             tick_nanos: u64::try_from(config.tick.as_nanos()).unwrap_or(u64::MAX).max(1),
@@ -536,6 +559,7 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
     #[must_use]
     pub fn shutdown(mut self) -> RuntimeReport {
         let wall = self.shared.epoch.elapsed();
+        let horizon_ticks = self.shared.sim_now();
         let drained = self.settled();
         let mut finals = self.stop_threads();
         assert_eq!(finals.len(), self.n, "a worker panicked; its shard's final state is lost");
@@ -553,12 +577,17 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
 
         let counters = &shared.counters;
         let cs_entries = counters.cs_entries.load(Ordering::SeqCst);
+        // Partition awareness at the shutdown horizon, mirroring the
+        // simulator's `World::partition_isolation`. Pending requests were
+        // just finalized into `abandoned`, so `unreachable` stays 0.
+        let isolated = isolation_at(&shared.script, horizon_ticks, drained, &finals, census);
         let horizon = Horizon {
             drained,
             events: counters.events_processed.load(Ordering::SeqCst),
             injected,
             served: cs_entries,
             abandoned,
+            unreachable: 0,
             live_token_census: census,
             nodes: finals
                 .iter()
@@ -567,6 +596,7 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
                     alive: !f.crashed,
                     idle: f.node.is_idle(),
                     recovered: f.recovered_ever,
+                    isolated: isolated[f.idx],
                 })
                 .collect(),
         };
@@ -592,6 +622,7 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
             recoveries: counters.recoveries.load(Ordering::SeqCst),
             lost_to_crashes: counters.lost_to_crashes.load(Ordering::SeqCst),
             lost_to_faults: counters.lost_to_faults.load(Ordering::SeqCst),
+            lost_to_partition: counters.lost_to_partition.load(Ordering::SeqCst),
             duplicated_deliveries: counters.duplicated_deliveries.load(Ordering::SeqCst),
             terminal_token_census: census,
             drained,
@@ -808,6 +839,15 @@ impl<M: MessageKind + core::fmt::Debug + Clone + Send + 'static> ActionSink<M>
                 TraceRecord::Send { from, to, kind: msg.kind(), desc: format!("{msg:?}") },
             );
         }
+        // A standing partition destroys every crossing message before
+        // any probabilistic fault machinery runs (deterministic, no RNG
+        // draw) — mirroring the simulator: the legacy duplication window
+        // below can never smuggle a copy across the cut.
+        let now_ticks = shared.sim_now();
+        if shared.script.active_at(now_ticks) && shared.script.cut(now_ticks, from, to) {
+            shared.counters.lost_to_partition.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
         // Link faults, mirroring the simulator's order: loss first (a
         // lost token was never in flight as far as the census is
         // concerned), then duplication (tokens exempt).
@@ -832,6 +872,38 @@ impl<M: MessageKind + core::fmt::Debug + Clone + Send + 'static> ActionSink<M>
                     to,
                     NodeCmd::Deliver { from, msg: msg.clone() },
                 );
+            }
+        }
+        // The scripted fault program, evaluated at the tick clock — the
+        // same order and semantics as the simulator's send path (the
+        // partition case was already decided above).
+        if shared.script.active_at(now_ticks) {
+            match shared.script.probabilistic_fate(
+                now_ticks,
+                from,
+                to,
+                msg.carries_token(),
+                self.rng,
+            ) {
+                LinkFate::Deliver => {}
+                LinkFate::DropPartition => {
+                    unreachable!("probabilistic_fate skips partition phases by construction")
+                }
+                LinkFate::DropLoss => {
+                    shared.counters.lost_to_faults.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                LinkFate::DeliverAndDuplicate => {
+                    shared.counters.duplicated_deliveries.fetch_add(1, Ordering::SeqCst);
+                    let delay = self.sample_delay();
+                    let _ = route(
+                        shared,
+                        self.router_tx,
+                        Instant::now() + delay,
+                        to,
+                        NodeCmd::Deliver { from, msg: msg.clone() },
+                    );
+                }
             }
         }
         let carries_token = msg.carries_token();
@@ -1094,6 +1166,28 @@ fn process<P: Protocol + Send + 'static>(
     }
 }
 
+/// Partition awareness for the shutdown horizon — the same policy as the
+/// simulator's `World::partition_isolation`, through the shared
+/// [`oc_sim::isolation_from_components`]. `finals` must be sorted by
+/// node index; `census` is the terminal live-token census.
+fn isolation_at<P: Protocol>(
+    script: &CompiledScript,
+    at: SimTime,
+    drained: bool,
+    finals: &[WorkerFinal<P>],
+    census: usize,
+) -> Vec<bool> {
+    let n = finals.len();
+    let alive: Vec<bool> = finals.iter().map(|f| !f.crashed).collect();
+    let holders: Vec<bool> = finals.iter().map(|f| !f.crashed && f.node.holds_token()).collect();
+    isolation_from_components(
+        script.components_at_horizon(at, n, drained),
+        &alive,
+        &holders,
+        census,
+    )
+}
+
 /// The shared CS-exit path (lease expiry and early release).
 fn exit_cs<P: Protocol + Send + 'static>(
     slot: &mut Slot<P>,
@@ -1275,6 +1369,35 @@ mod tests {
         assert!(!report.trace.records().is_empty());
         let replayed = Oracle::replay_cs(&report.trace);
         assert_eq!(replayed.is_clean(), report.mutual_exclusion_held());
+    }
+
+    #[test]
+    fn scripted_partition_heals_and_the_service_recovers() {
+        use oc_sim::{FaultPhase, FaultPhaseKind};
+        // Split the 8-cube into halves for a window much shorter than the
+        // suspicion slack, with traffic crossing the cut; after the heal
+        // the retry machinery must serve everything and the oracles stay
+        // clean. At a 50µs tick, [2000, 6000) ticks ≈ [100ms, 300ms).
+        let script = FaultScript::none().with_phase(FaultPhase {
+            from: SimTime::from_ticks(2_000),
+            until: SimTime::from_ticks(6_000),
+            kind: FaultPhaseKind::GroupPartition { p: 2 },
+        });
+        let protocol = Config::new(8, SimDuration::from_ticks(40), SimDuration::from_ticks(20))
+            .with_contention_slack(SimDuration::from_ticks(20_000));
+        let rt = Runtime::start_scripted(config(4), script, OpenCubeNode::build_all(protocol));
+        let mut schedule = ArrivalSchedule::new();
+        for i in 1..=8u32 {
+            // One request per node, spread across the partition window.
+            schedule = schedule.then(SimTime::from_ticks(u64::from(i) * 800), NodeId::new(i));
+        }
+        let ids = rt.schedule_workload(&schedule);
+        assert_eq!(ids.len(), 8);
+        assert!(rt.await_settled(Duration::from_secs(60)));
+        let report = rt.shutdown();
+        assert!(report.is_clean(), "oracles: {report:?}");
+        assert_eq!(report.requests_completed + report.requests_abandoned, 8);
+        assert_eq!(report.requests_abandoned, 0, "nobody crashed; the heal must serve everyone");
     }
 
     #[test]

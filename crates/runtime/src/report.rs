@@ -36,8 +36,12 @@ pub struct RuntimeReport {
     pub recoveries: u64,
     /// Messages destroyed because the destination was down at delivery.
     pub lost_to_crashes: u64,
-    /// Messages dropped on the wire by injected link faults.
+    /// Messages dropped on the wire by injected link faults (loss windows
+    /// and scripted degradation/loss phases).
     pub lost_to_faults: u64,
+    /// Messages destroyed at a scripted partition boundary
+    /// (`Runtime::start_scripted`).
+    pub lost_to_partition: u64,
     /// Extra deliveries injected by the duplicate-delivery fault.
     pub duplicated_deliveries: u64,
     /// Live tokens at shutdown: held by live nodes plus in flight. The

@@ -39,12 +39,15 @@ pub mod trace;
 pub mod workload;
 pub mod world;
 
-pub use channel::{DelayModel, LinkFaults};
+pub use channel::{
+    CompiledScript, DelayModel, FaultPhase, FaultPhaseKind, FaultScript, LinkFate, LinkFaults,
+};
 pub use crash::FailurePlan;
 pub use engine::{drive, drive_recovery, ActionSink, TimerRow, TimerTable};
 pub use hash::Fnv64;
 pub use liveness::{
-    check_horizon, check_liveness, Horizon, LivenessReport, LivenessViolation, NodeAtHorizon,
+    check_horizon, check_liveness, isolation_from_components, Horizon, LivenessReport,
+    LivenessViolation, NodeAtHorizon,
 };
 pub use metrics::{Metrics, MsgKind};
 pub use oracle::{Oracle, OracleReport, Violation};

@@ -49,6 +49,9 @@ pub enum LivenessViolation {
         served: u64,
         /// Requests abandoned by crashes of their node.
         abandoned: u64,
+        /// Requests stranded on partition-isolated nodes at the horizon
+        /// — excused from the accounting, shown for transparency.
+        unreachable: u64,
     },
     /// Live nodes have demand (starved requests or standing obligations)
     /// but no live token exists: regeneration failed to restore it even
@@ -105,6 +108,12 @@ pub struct NodeAtHorizon {
     pub idle: bool,
     /// `true` if the node recovered from a crash at least once.
     pub recovered: bool,
+    /// `true` if a partition phase still active at the horizon separates
+    /// this node from every live token holder
+    /// ([`crate::world::World::partition_isolation`]). An isolated node's
+    /// pending obligations are the environment's fault, not the
+    /// algorithm's, so the per-node stuck judgement skips it.
+    pub isolated: bool,
 }
 
 /// A substrate-agnostic snapshot of a finished run at its horizon — the
@@ -128,6 +137,10 @@ pub struct Horizon {
     /// Requests abandoned by crashes of their node (or by a forced
     /// shutdown, for the runtime).
     pub abandoned: u64,
+    /// Requests still pending on partition-isolated nodes at the horizon:
+    /// the partition, not the algorithm, is withholding service, so the
+    /// starvation accounting treats them like abandonments.
+    pub unreachable: u64,
     /// Live tokens at the horizon: held by live nodes or in flight toward
     /// live nodes.
     pub live_token_census: usize,
@@ -152,12 +165,14 @@ impl Horizon {
 /// are still pending.
 #[must_use]
 pub fn check_liveness<P: Protocol>(world: &World<P>, drained: bool) -> LivenessReport {
+    let (isolated, unreachable) = world.partition_isolation(drained);
     let nodes = NodeId::all(world.len())
         .map(|id| NodeAtHorizon {
             node: id,
             alive: world.is_alive(id),
             idle: world.node(id).is_idle(),
             recovered: world.has_recovered(id),
+            isolated: isolated[id.zero_based() as usize],
         })
         .collect();
     check_horizon(&Horizon {
@@ -166,9 +181,57 @@ pub fn check_liveness<P: Protocol>(world: &World<P>, drained: bool) -> LivenessR
         injected: world.requests_injected(),
         served: world.metrics().cs_entries,
         abandoned: world.metrics().requests_abandoned,
+        unreachable,
         live_token_census: world.live_token_census(),
         nodes,
     })
+}
+
+/// Per-node partition isolation from component ids — the one policy
+/// shared by the simulator (`World::partition_isolation`) and the
+/// runtime's shutdown horizon:
+///
+/// * `components` is `CompiledScript::components_at_horizon` (`None` =
+///   no partition counts at this horizon → nobody is isolated);
+/// * a cut that leaves every live node in one component is vacuous;
+/// * a live node is isolated iff no live token holder shares its
+///   component — or, when the token is *provably gone everywhere*
+///   (`live_tokens == 0`) while the cut stands, unconditionally:
+///   regeneration would need cross-cut agreement. A token merely in
+///   flight (`live_tokens > 0` with no at-rest holder) has an unknown
+///   location, so nobody can be proven isolated from it and nothing is
+///   excused — the oracle stays sharp.
+///
+/// `holds_token` must already be masked by liveness (a dead node's
+/// token is not a live holder); `live_tokens` is the live token census
+/// (at-rest holders plus in-flight).
+#[must_use]
+pub fn isolation_from_components(
+    components: Option<Vec<u32>>,
+    alive: &[bool],
+    holds_token: &[bool],
+    live_tokens: usize,
+) -> Vec<bool> {
+    let n = alive.len();
+    let Some(components) = components else {
+        return vec![false; n];
+    };
+    let mut live = (0..n).filter(|idx| alive[*idx]).map(|idx| components[idx]);
+    let first = live.next();
+    if live.all(|c| Some(c) == first) {
+        return vec![false; n];
+    }
+    let token_components: std::collections::BTreeSet<u32> =
+        (0..n).filter(|idx| holds_token[*idx]).map(|idx| components[idx]).collect();
+    if token_components.is_empty() && live_tokens > 0 {
+        return vec![false; n];
+    }
+    (0..n)
+        .map(|idx| {
+            alive[idx]
+                && (token_components.is_empty() || !token_components.contains(&components[idx]))
+        })
+        .collect()
 }
 
 /// Judges a [`Horizon`] snapshot — the liveness oracle proper, shared by
@@ -177,20 +240,36 @@ pub fn check_liveness<P: Protocol>(world: &World<P>, drained: bool) -> LivenessR
 pub fn check_horizon(horizon: &Horizon) -> LivenessReport {
     let mut report = LivenessReport::default();
     if !horizon.drained {
-        report.violations.push(LivenessViolation::HorizonExhausted { events: horizon.events });
+        // A run still spinning under an active partition is attributable
+        // to the environment — the isolated side's retry machinery is
+        // *supposed* to keep trying until the partition heals — but only
+        // when the isolated side plausibly accounts for the spin: some
+        // live node must be isolated AND every non-isolated live node
+        // must be quiet. A busy node on the token's own side is a spin
+        // the partition does not excuse, and the exhaustion is reported.
+        let isolated_spin = horizon.nodes.iter().any(|state| state.alive && state.isolated)
+            && horizon
+                .nodes
+                .iter()
+                .filter(|state| state.alive && !state.isolated)
+                .all(|state| state.idle);
+        if !isolated_spin {
+            report.violations.push(LivenessViolation::HorizonExhausted { events: horizon.events });
+        }
         return report;
     }
-    let starved = horizon.served + horizon.abandoned != horizon.injected;
+    let starved = horizon.served + horizon.abandoned + horizon.unreachable != horizon.injected;
     if starved {
         report.violations.push(LivenessViolation::Starvation {
             injected: horizon.injected,
             served: horizon.served,
             abandoned: horizon.abandoned,
+            unreachable: horizon.unreachable,
         });
     }
     let mut stuck = Vec::new();
     for state in &horizon.nodes {
-        if state.alive && !state.idle {
+        if state.alive && !state.idle && !state.isolated {
             stuck.push(LivenessViolation::StuckNode {
                 node: state.node,
                 recovered: state.recovered,
@@ -232,6 +311,9 @@ mod tests {
     struct Swallower {
         id: NodeId,
         poked: bool,
+        /// `true` if this node claims the token forever (for the
+        /// partition-awareness tests, which need a token location).
+        token: bool,
     }
     impl Protocol for Swallower {
         type Msg = Nothing;
@@ -249,16 +331,21 @@ mod tests {
             false
         }
         fn holds_token(&self) -> bool {
-            false
+            self.token
         }
         fn is_idle(&self) -> bool {
             !self.poked
         }
     }
 
+    fn swallowers(n: u32, holder: Option<u32>) -> Vec<Swallower> {
+        (1..=n)
+            .map(|i| Swallower { id: NodeId::new(i), poked: false, token: Some(i) == holder })
+            .collect()
+    }
+
     fn swallower_world() -> World<Swallower> {
-        let nodes = (1..=2u32).map(|i| Swallower { id: NodeId::new(i), poked: false }).collect();
-        World::new(SimConfig::default(), nodes)
+        World::new(SimConfig::default(), swallowers(2, None))
     }
 
     #[test]
@@ -308,5 +395,179 @@ mod tests {
         let report = check_liveness(&world, false);
         assert_eq!(report.violations().len(), 1);
         assert!(matches!(report.violations()[0], LivenessViolation::HorizonExhausted { .. }));
+    }
+
+    // ---- partition awareness ----
+
+    use crate::channel::{FaultPhase, FaultPhaseKind, FaultScript};
+
+    /// A permanent partition isolating node 2 from the token holder.
+    fn isolating_script() -> FaultScript {
+        FaultScript::none().with_phase(FaultPhase {
+            from: SimTime::ZERO,
+            until: SimTime::from_ticks(u64::MAX),
+            kind: FaultPhaseKind::Partition { blocks: vec![vec![NodeId::new(2)]] },
+        })
+    }
+
+    #[test]
+    fn isolated_starvation_and_stuckness_are_the_environments_fault() {
+        // Node 1 holds the token; node 2 is cut off forever and its
+        // request is swallowed. Without the partition this is starvation
+        // plus a stuck node (proved by `starved_request_and_stuck_node…`
+        // above); with it, the oracle must attribute both to the
+        // environment and stay clean.
+        let mut world = World::new(
+            SimConfig { script: isolating_script(), ..SimConfig::default() },
+            swallowers(2, Some(1)),
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        let drained = world.run_to_quiescence();
+        assert!(drained);
+        let (isolated, unreachable) = world.partition_isolation(drained);
+        assert_eq!(isolated, vec![false, true]);
+        assert_eq!(unreachable, 1);
+        let report = check_liveness(&world, drained);
+        assert!(report.is_clean(), "violations: {:?}", report.violations());
+    }
+
+    #[test]
+    fn partition_does_not_excuse_the_token_side() {
+        // Same cut, but the swallowed request lives on node 1 — the
+        // token's own side. The partition is no excuse there: starvation
+        // and the stuck node must still be reported.
+        let mut world = World::new(
+            SimConfig { script: isolating_script(), ..SimConfig::default() },
+            swallowers(2, Some(1)),
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(1));
+        let drained = world.run_to_quiescence();
+        let report = check_liveness(&world, drained);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, LivenessViolation::Starvation { unreachable: 0, .. })));
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            LivenessViolation::StuckNode { node, .. } if *node == NodeId::new(1)
+        )));
+    }
+
+    #[test]
+    fn dead_token_under_partition_excuses_everyone() {
+        // No token exists anywhere and a partition is active: regeneration
+        // would need cross-partition agreement, so nothing is blamed on
+        // the algorithm until the heal.
+        let mut world = World::new(
+            SimConfig { script: isolating_script(), ..SimConfig::default() },
+            swallowers(2, None),
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        let drained = world.run_to_quiescence();
+        let report = check_liveness(&world, drained);
+        assert!(report.is_clean(), "violations: {:?}", report.violations());
+    }
+
+    #[test]
+    fn exhausted_horizon_under_partition_is_excused() {
+        // An event-cap trip while the partition still stands is the
+        // environment's doing (the isolated side is supposed to retry);
+        // the same trip with no partition is a livelock verdict.
+        let mut partitioned = World::new(
+            SimConfig { script: isolating_script(), ..SimConfig::default() },
+            swallowers(2, Some(1)),
+        );
+        partitioned.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        let _ = partitioned.run_to_quiescence();
+        assert!(check_liveness(&partitioned, false).is_clean());
+        let bare = swallower_world();
+        assert!(!check_liveness(&bare, false).is_clean());
+    }
+
+    #[test]
+    fn busy_token_side_is_not_excused_by_the_partition() {
+        // Node 2 is isolated, but the spinning (poked, non-idle) node
+        // sits on the token's own side: the cut does not account for the
+        // event-cap trip, so horizon exhaustion must be reported.
+        let mut world = World::new(
+            SimConfig { script: isolating_script(), ..SimConfig::default() },
+            swallowers(2, Some(1)),
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(1));
+        let _ = world.run_to_quiescence();
+        let report = check_liveness(&world, false);
+        assert_eq!(report.violations().len(), 1);
+        assert!(matches!(report.violations()[0], LivenessViolation::HorizonExhausted { .. }));
+    }
+
+    #[test]
+    fn a_cut_that_will_heal_does_not_excuse_a_drained_horizon() {
+        // Finite cut [0, 100): the swallowed request on node 2 drains the
+        // queue at t=1, *inside* the window — but the cut will heal with
+        // nothing scheduled after it, so the starvation survives the heal
+        // and must be reported, exactly as if there were no cut.
+        let mut world = World::new(
+            SimConfig {
+                script: FaultScript::none().with_phase(FaultPhase {
+                    from: SimTime::ZERO,
+                    until: SimTime::from_ticks(100),
+                    kind: FaultPhaseKind::Partition { blocks: vec![vec![NodeId::new(2)]] },
+                }),
+                ..SimConfig::default()
+            },
+            swallowers(2, Some(1)),
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        let drained = world.run_to_quiescence();
+        assert!(drained);
+        let report = check_liveness(&world, drained);
+        assert!(
+            report
+                .violations()
+                .iter()
+                .any(|v| matches!(v, LivenessViolation::Starvation { unreachable: 0, .. })),
+            "a healing cut is no excuse at a drained horizon: {:?}",
+            report.violations()
+        );
+    }
+
+    #[test]
+    fn a_token_in_flight_does_not_isolate_everyone() {
+        // No at-rest holder but a nonzero census (token in flight, the
+        // exhausted-horizon shape): the token's location is unknown, so
+        // nobody can be proven isolated and nothing is excused.
+        let components = Some(vec![0, 1]);
+        let isolated =
+            isolation_from_components(components.clone(), &[true, true], &[false, false], 1);
+        assert_eq!(isolated, vec![false, false]);
+        // With the token provably gone everywhere, the conservative
+        // everyone-isolated branch applies.
+        let isolated = isolation_from_components(components, &[true, true], &[false, false], 0);
+        assert_eq!(isolated, vec![true, true]);
+    }
+
+    #[test]
+    fn vacuous_partitions_do_not_excuse_anything() {
+        // A "partition" whose blocks all contain the same live nodes (the
+        // cut only separates a dead node) isolates nobody.
+        let mut world = World::new(
+            SimConfig {
+                script: FaultScript::none().with_phase(FaultPhase {
+                    from: SimTime::ZERO,
+                    until: SimTime::from_ticks(u64::MAX),
+                    kind: FaultPhaseKind::Partition { blocks: vec![vec![NodeId::new(2)]] },
+                }),
+                ..SimConfig::default()
+            },
+            swallowers(2, None),
+        );
+        world.schedule_failure(SimTime::from_ticks(1), NodeId::new(2));
+        world.schedule_request(SimTime::from_ticks(5), NodeId::new(1));
+        let drained = world.run_to_quiescence();
+        let (isolated, unreachable) = world.partition_isolation(drained);
+        assert_eq!(isolated, vec![false, false], "a one-sided cut isolates nobody");
+        assert_eq!(unreachable, 0);
+        let report = check_liveness(&world, drained);
+        assert!(!report.is_clean(), "the swallowed request must still be starvation");
     }
 }

@@ -58,8 +58,14 @@ pub struct Metrics {
     /// Messages destroyed because the destination had crashed.
     pub lost_to_crashes: u64,
     /// Messages dropped on links to *live* nodes by injected link faults
-    /// ([`crate::channel::LinkFaults`]).
+    /// ([`crate::channel::LinkFaults`] loss windows and scripted
+    /// degradation/loss phases).
     pub lost_to_faults: u64,
+    /// Messages destroyed at a scripted partition boundary
+    /// ([`crate::channel::FaultScript`]). Counted apart from
+    /// `lost_to_faults` so a partition battery can see exactly how much
+    /// traffic the cut ate.
+    pub lost_to_partition: u64,
     /// Extra deliveries injected by the duplicate-delivery link fault.
     /// These are not counted as sends (`total_sent` is unchanged): one
     /// logical send, two deliveries.
@@ -159,6 +165,7 @@ impl Metrics {
         }
         self.lost_to_crashes += other.lost_to_crashes;
         self.lost_to_faults += other.lost_to_faults;
+        self.lost_to_partition += other.lost_to_partition;
         self.duplicated_deliveries += other.duplicated_deliveries;
         self.requests_abandoned += other.requests_abandoned;
         self.cs_entries += other.cs_entries;
@@ -223,6 +230,7 @@ mod tests {
         m.record_send(MsgKind::Test);
         m.lost_to_crashes = salt;
         m.lost_to_faults = salt + 1;
+        m.lost_to_partition = salt + 4;
         m.duplicated_deliveries = salt + 2;
         m.requests_abandoned = salt + 3;
         m.cs_entries = 2 * salt;
@@ -241,6 +249,7 @@ mod tests {
         assert_eq!(a.sent(MsgKind::Test), 2);
         assert_eq!(a.lost_to_crashes, 8);
         assert_eq!(a.lost_to_faults, 10);
+        assert_eq!(a.lost_to_partition, 16);
         assert_eq!(a.duplicated_deliveries, 12);
         assert_eq!(a.requests_abandoned, 14);
         assert_eq!(a.cs_entries, 16);

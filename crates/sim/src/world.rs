@@ -14,7 +14,7 @@ use oc_topology::NodeId;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 use crate::{
-    channel::{DelayModel, LinkFaults},
+    channel::{CompiledScript, DelayModel, FaultScript, LinkFate, LinkFaults},
     crash::FailurePlan,
     engine::{self, ActionSink, TimerTable},
     metrics::Metrics,
@@ -50,6 +50,11 @@ pub struct SimConfig {
     /// extra RNG draws, so traces of existing configurations are
     /// byte-identical.
     pub faults: LinkFaults,
+    /// Time-scripted fault program: partitions (with heal events),
+    /// one-way degradation, loss/duplication phases.
+    /// [`FaultScript::none`] by default: nothing injected, no extra RNG
+    /// draws, so traces of unscripted configurations are byte-identical.
+    pub script: FaultScript,
 }
 
 impl Default for SimConfig {
@@ -62,6 +67,7 @@ impl Default for SimConfig {
             max_events: 100_000_000,
             queue: QueueBackend::default(),
             faults: LinkFaults::none(),
+            script: FaultScript::none(),
         }
     }
 }
@@ -86,6 +92,9 @@ pub(crate) enum SimEvent<M> {
 #[derive(Debug)]
 struct Core<M> {
     config: SimConfig,
+    /// `config.script` compiled against the system size (dense membership
+    /// tables); consulted on every send while a phase is active.
+    compiled: CompiledScript,
     /// Dense per-node state, indexed by `NodeId::zero_based`.
     alive: Vec<bool>,
     in_cs: Vec<bool>,
@@ -123,6 +132,16 @@ impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
             self.metrics.lost_to_crashes += 1;
             return;
         }
+        // A standing partition destroys every crossing message before
+        // any probabilistic fault machinery runs — deterministically, no
+        // RNG draw, so the legacy duplication window below can never
+        // smuggle a copy across the cut. A token dies here exactly as
+        // one whose carrier crashed; it was never in flight as far as
+        // the census is concerned.
+        if self.compiled.active_at(self.now) && self.compiled.cut(self.now, from, to) {
+            self.metrics.lost_to_partition += 1;
+            return;
+        }
         // Link faults (off by default — this branch then draws no
         // randomness, keeping legacy traces byte-identical).
         if self.config.faults.active_at(self.now) {
@@ -146,6 +165,33 @@ impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
                 self.metrics.duplicated_deliveries += 1;
                 let delay = self.config.delay.sample(&mut self.rng);
                 self.queue.push(self.now + delay, SimEvent::Deliver { to, from, msg: msg.clone() });
+            }
+        }
+        // Scripted faults (off by default — the inactive script draws no
+        // randomness, keeping unscripted traces byte-identical).
+        if self.compiled.active_at(self.now) {
+            let fate = self.compiled.probabilistic_fate(
+                self.now,
+                from,
+                to,
+                msg.carries_token(),
+                &mut self.rng,
+            );
+            match fate {
+                LinkFate::Deliver => {}
+                LinkFate::DropPartition => {
+                    unreachable!("probabilistic_fate skips partition phases by construction")
+                }
+                LinkFate::DropLoss => {
+                    self.metrics.lost_to_faults += 1;
+                    return;
+                }
+                LinkFate::DeliverAndDuplicate => {
+                    self.metrics.duplicated_deliveries += 1;
+                    let delay = self.config.delay.sample(&mut self.rng);
+                    self.queue
+                        .push(self.now + delay, SimEvent::Deliver { to, from, msg: msg.clone() });
+                }
             }
         }
         if msg.carries_token() {
@@ -217,12 +263,14 @@ impl<P: Protocol> World<P> {
         let seed = config.seed;
         let record_trace = config.record_trace;
         let queue = EventQueue::with_backend(config.queue);
+        let compiled = config.script.compile(n);
         World {
             nodes,
             holds_token,
             outbox: Outbox::new(),
             core: Core {
                 config,
+                compiled,
                 alive: vec![true; n],
                 in_cs: vec![false; n],
                 recovered: vec![false; n],
@@ -297,6 +345,32 @@ impl<P: Protocol> World<P> {
     #[must_use]
     pub fn pending_requests(&self, id: NodeId) -> usize {
         self.core.pending_request_times[id.zero_based() as usize].len()
+    }
+
+    /// Partition awareness at the liveness horizon: per-node "isolated"
+    /// flags ([`crate::liveness::isolation_from_components`] under the
+    /// phases the horizon is judged by — on a drained horizon only
+    /// never-healing cuts count, see
+    /// [`crate::channel::CompiledScript::components_at_horizon`]) plus
+    /// the number of pending requests stranded on isolated nodes.
+    /// All-false/0 when no qualifying partition is active, or when the
+    /// active partitions do not actually split the live nodes.
+    #[must_use]
+    pub fn partition_isolation(&self, drained: bool) -> (Vec<bool>, u64) {
+        let n = self.nodes.len();
+        let isolated = crate::liveness::isolation_from_components(
+            self.core.compiled.components_at_horizon(self.core.now, n, drained),
+            &self.core.alive,
+            &self.holds_token,
+            self.live_token_census(),
+        );
+        let unreachable = isolated
+            .iter()
+            .enumerate()
+            .filter(|(_, iso)| **iso)
+            .map(|(idx, _)| self.core.pending_request_times[idx].len() as u64)
+            .sum();
+        (isolated, unreachable)
     }
 
     /// Metrics collected so far.
@@ -802,6 +876,114 @@ mod tests {
         // once delivery made visible.
         assert_eq!(world.metrics().cs_entries, 2);
         assert!(world.oracle_report().is_clean());
+    }
+
+    #[test]
+    fn partition_phase_drops_cross_cut_messages_until_heal() {
+        use crate::channel::{FaultPhase, FaultPhaseKind, FaultScript};
+        // Full isolation (p = 0: every node its own island) during
+        // [0, 100): node 2's request to the coordinator dies at the
+        // boundary. A second request after the heal goes through.
+        let nodes = (1..=2u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+        let mut world = World::new(
+            SimConfig {
+                script: FaultScript::none().with_phase(FaultPhase {
+                    from: SimTime::ZERO,
+                    until: SimTime::from_ticks(100),
+                    kind: FaultPhaseKind::GroupPartition { p: 0 },
+                }),
+                ..SimConfig::default()
+            },
+            nodes,
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        world.schedule_request(SimTime::from_ticks(200), NodeId::new(2));
+        assert!(world.run_to_quiescence());
+        assert_eq!(world.metrics().lost_to_partition, 1);
+        assert_eq!(world.metrics().lost_to_faults, 0);
+        assert_eq!(world.metrics().cs_entries, 1, "the post-heal request must be served");
+        // The partition healed long before the horizon, so the starved
+        // first request is NOT excused: the naive coordinator has no
+        // retry machinery, and the oracle must say so.
+        let report = crate::liveness::check_liveness(&world, true);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, crate::liveness::LivenessViolation::Starvation { .. })));
+    }
+
+    #[test]
+    fn partition_outranks_the_legacy_duplication_window() {
+        use crate::channel::{FaultPhase, FaultPhaseKind, FaultScript};
+        // Total duplication AND a full cut, both active: the cut must
+        // destroy the cross-cut send before the duplication window can
+        // enqueue a copy — nothing may cross, not even a duplicate.
+        let nodes = (1..=2u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+        let mut world = World::new(
+            SimConfig {
+                faults: LinkFaults {
+                    window_from: SimTime::ZERO,
+                    window_until: SimTime::from_ticks(1_000_000),
+                    loss_per_mille: 0,
+                    duplicate_per_mille: 1_000,
+                },
+                script: FaultScript::none().with_phase(FaultPhase {
+                    from: SimTime::ZERO,
+                    until: SimTime::from_ticks(1_000_000),
+                    kind: FaultPhaseKind::GroupPartition { p: 0 },
+                }),
+                ..SimConfig::default()
+            },
+            nodes,
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        assert!(world.run_to_quiescence());
+        assert_eq!(world.metrics().lost_to_partition, 1);
+        assert_eq!(world.metrics().duplicated_deliveries, 0, "no copy may cross the cut");
+        assert_eq!(world.metrics().cs_entries, 0);
+    }
+
+    #[test]
+    fn scripted_runs_are_deterministic_under_seed() {
+        use crate::channel::{FaultPhase, FaultPhaseKind, FaultScript};
+        let run = |seed| {
+            let nodes = (1..=8u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+            let script = FaultScript::none()
+                .with_phase(FaultPhase {
+                    from: SimTime::from_ticks(5),
+                    until: SimTime::from_ticks(60),
+                    kind: FaultPhaseKind::GroupPartition { p: 2 },
+                })
+                .with_phase(FaultPhase {
+                    from: SimTime::from_ticks(30),
+                    until: SimTime::from_ticks(200),
+                    kind: FaultPhaseKind::Degrade {
+                        from: vec![NodeId::new(2)],
+                        to: vec![NodeId::new(1)],
+                        loss_per_mille: 500,
+                    },
+                })
+                .with_phase(FaultPhase {
+                    from: SimTime::from_ticks(100),
+                    until: SimTime::from_ticks(400),
+                    kind: FaultPhaseKind::LossDup { loss_per_mille: 100, duplicate_per_mille: 300 },
+                });
+            let mut world = World::new(SimConfig { seed, script, ..SimConfig::default() }, nodes);
+            for i in 1..=8u32 {
+                world.schedule_request(SimTime::from_ticks(u64::from(i) * 3), NodeId::new(i));
+            }
+            let drained = world.run_to_quiescence();
+            (
+                drained,
+                world.metrics().total_sent(),
+                world.metrics().lost_to_partition,
+                world.metrics().lost_to_faults,
+                world.metrics().duplicated_deliveries,
+                world.metrics().events_processed,
+                world.now(),
+            )
+        };
+        assert_eq!(run(11), run(11));
     }
 
     #[test]

@@ -27,9 +27,11 @@ fn traced_run(seed: u64, backend: QueueBackend) -> (u64, u64, u64) {
         record_trace: true,
         max_events: 30_000_000,
         queue: backend,
-        // Explicitly the reliable-channel default: the golden hash below
-        // pins that the fault-injection hooks change nothing when off.
+        // Explicitly the reliable-channel defaults: the golden hash below
+        // pins that the fault-injection hooks — windowed link faults AND
+        // the scripted fault program — change nothing when off.
         faults: opencube::sim::LinkFaults::none(),
+        script: opencube::sim::FaultScript::none(),
     };
     let cfg = Config::new(32, SimDuration::from_ticks(DELTA), SimDuration::from_ticks(CS))
         .with_contention_slack(SimDuration::from_ticks(2_000));
