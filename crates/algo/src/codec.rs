@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! tag: u8, then fields in order, integers little-endian
-//!   0x01 request       claimant:u32 source:u32 source_seq:u64
+//!   0x01 request       claimant:u32 source:u32 source_seq:u64  (in-memory u32)
 //!   0x02 token         has_lender:u8 [lender:u32]
 //!   0x03 enquiry       source_seq:u64
 //!   0x04 enquiry-reply source_seq:u64 status:u8
@@ -61,7 +61,7 @@ pub fn encode(msg: &Msg) -> Bytes {
             buf.put_u8(TAG_REQUEST);
             buf.put_u32_le(claimant.get());
             buf.put_u32_le(source.get());
-            buf.put_u64_le(*source_seq);
+            buf.put_u64_le(u64::from(*source_seq));
         }
         Msg::Token { lender } => {
             buf.put_u8(TAG_TOKEN);
@@ -75,11 +75,11 @@ pub fn encode(msg: &Msg) -> Bytes {
         }
         Msg::Enquiry { source_seq } => {
             buf.put_u8(TAG_ENQUIRY);
-            buf.put_u64_le(*source_seq);
+            buf.put_u64_le(u64::from(*source_seq));
         }
         Msg::EnquiryReply { source_seq, status } => {
             buf.put_u8(TAG_ENQUIRY_REPLY);
-            buf.put_u64_le(*source_seq);
+            buf.put_u64_le(u64::from(*source_seq));
             buf.put_u8(match status {
                 EnquiryStatus::StillInCs => 0,
                 EnquiryStatus::TokenReturned => 1,
@@ -125,7 +125,7 @@ fn decode_inner(buf: &mut &[u8]) -> Result<Msg, DecodeError> {
         TAG_REQUEST => Ok(Msg::Request {
             claimant: take_node(buf)?,
             source: take_node(buf)?,
-            source_seq: take_u64(buf)?,
+            source_seq: take_seq(buf)?,
         }),
         TAG_TOKEN => {
             let lender = match take_u8(buf)? {
@@ -135,9 +135,9 @@ fn decode_inner(buf: &mut &[u8]) -> Result<Msg, DecodeError> {
             };
             Ok(Msg::Token { lender })
         }
-        TAG_ENQUIRY => Ok(Msg::Enquiry { source_seq: take_u64(buf)? }),
+        TAG_ENQUIRY => Ok(Msg::Enquiry { source_seq: take_seq(buf)? }),
         TAG_ENQUIRY_REPLY => {
-            let source_seq = take_u64(buf)?;
+            let source_seq = take_seq(buf)?;
             let status = match take_u8(buf)? {
                 0 => EnquiryStatus::StillInCs,
                 1 => EnquiryStatus::TokenReturned,
@@ -181,6 +181,12 @@ fn take_u64(buf: &mut &[u8]) -> Result<u64, DecodeError> {
     Ok(buf.get_u64_le())
 }
 
+/// Sequence numbers travel as u64 on the wire (the format predates the
+/// in-memory u32 diet) but must fit the in-memory field.
+fn take_seq(buf: &mut &[u8]) -> Result<u32, DecodeError> {
+    u32::try_from(take_u64(buf)?).map_err(|_| DecodeError::BadField("source_seq"))
+}
+
 fn take_node(buf: &mut &[u8]) -> Result<NodeId, DecodeError> {
     let raw = take_u32(buf)?;
     if raw == 0 {
@@ -204,7 +210,7 @@ mod tests {
         round_trip(Msg::Request {
             claimant: NodeId::new(7),
             source: NodeId::new(12),
-            source_seq: u64::MAX,
+            source_seq: u32::MAX,
         });
         round_trip(Msg::Token { lender: None });
         round_trip(Msg::Token { lender: Some(NodeId::new(1)) });

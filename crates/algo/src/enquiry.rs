@@ -46,7 +46,7 @@ impl OpenCubeNode {
 
     /// An enquiry arrived: report the status of the claim `source_seq`
     /// from this node's perspective.
-    pub(crate) fn on_enquiry(&mut self, from: NodeId, source_seq: u64, out: &mut Outbox<Msg>) {
+    pub(crate) fn on_enquiry(&mut self, from: NodeId, source_seq: u32, out: &mut Outbox<Msg>) {
         let status = self.local_claim_status(source_seq);
         out.send(from, Msg::EnquiryReply { source_seq, status });
     }
@@ -54,7 +54,7 @@ impl OpenCubeNode {
     /// The source's reply to our enquiry.
     pub(crate) fn on_enquiry_reply(
         &mut self,
-        source_seq: u64,
+        source_seq: u32,
         status: EnquiryStatus,
         out: &mut Outbox<Msg>,
     ) {

@@ -51,7 +51,7 @@ pub enum Msg {
         /// The node whose `enter_cs` call started the claim chain.
         source: NodeId,
         /// The source's claim sequence number.
-        source_seq: u64,
+        source_seq: u32,
     },
     /// `token(lender)`: the token itself. `lender = None` is the paper's
     /// `token(nil)` — ownership transfers; `Some(j)` means the token must
@@ -63,12 +63,12 @@ pub enum Msg {
     /// The root's enquiry to the source of an outstanding loan.
     Enquiry {
         /// The claim sequence number the enquiry is about.
-        source_seq: u64,
+        source_seq: u32,
     },
     /// The source's reply to an enquiry.
     EnquiryReply {
         /// Echo of the enquiry's sequence number.
-        source_seq: u64,
+        source_seq: u32,
         /// Status of that claim at the source.
         status: EnquiryStatus,
     },

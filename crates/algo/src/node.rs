@@ -22,14 +22,14 @@ pub(crate) enum Work {
     /// The local application's `enter_cs` call.
     Local,
     /// A received `request` message.
-    Remote { claimant: NodeId, source: NodeId, source_seq: u64 },
+    Remote { claimant: NodeId, source: NodeId, source_seq: u32 },
 }
 
 /// The local application's outstanding claim, tracked so the node can
 /// answer the root's enquiry about it (Section 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct LocalClaim {
-    pub seq: u64,
+    pub seq: u32,
     pub in_cs: bool,
 }
 
@@ -38,7 +38,7 @@ pub(crate) struct LocalClaim {
 pub(crate) struct Loan {
     pub claimant: NodeId,
     pub source: NodeId,
-    pub source_seq: u64,
+    pub source_seq: u32,
     /// `true` when the token went directly to the source (j = s).
     pub direct: bool,
     /// Set once an enquiry answered "returned"; a second "returned" for the
@@ -62,7 +62,11 @@ pub(crate) struct Loan {
 #[derive(Debug)]
 pub struct OpenCubeNode {
     id: NodeId,
-    cfg: Config,
+    /// Shared, immutable run configuration. One `Arc` is shared by every
+    /// node of a world (`build_all`), so the per-node cost is one pointer
+    /// instead of the full ~48-byte `Config` — a measurable slice of the
+    /// per-node footprint at n = 2^24.
+    cfg: std::sync::Arc<Config>,
 
     // ---- Section 3 variables (paper names in comments) ----
     /// `token_here_i`
@@ -82,18 +86,20 @@ pub struct OpenCubeNode {
 
     // ---- claim bookkeeping (Section 5 prose, see message.rs docs) ----
     /// (source, seq) of the claim this node is currently asking for.
-    current_claim: Option<(NodeId, u64)>,
+    current_claim: Option<(NodeId, u32)>,
     /// Sequence counter for this node's own CS requests.
-    local_seq: u64,
+    local_seq: u32,
     /// This node's own outstanding claim.
     local_claim: Option<LocalClaim>,
 
     // ---- Section 5 state ----
     pub(crate) loan: Option<Loan>,
-    pub(crate) search: Option<SearchState>,
+    pub(crate) search: Option<Box<SearchState>>,
     /// Recycled search state: keeps the ring bitmask buffers of finished
-    /// searches so starting the next one allocates nothing.
-    pub(crate) search_spare: SearchState,
+    /// searches so starting the next one allocates nothing. Boxed (and
+    /// absent until first used) so idle nodes pay one pointer, not two
+    /// inline `RingSet`s — searches are rare, nodes are 2^24.
+    pub(crate) search_spare: Option<Box<SearchState>>,
     /// Set when the node recovered in a mode that cannot re-join (fault
     /// tolerance disabled): it ignores all input.
     inert: bool,
@@ -110,6 +116,13 @@ impl OpenCubeNode {
     /// Panics if `id` is outside `1..=cfg.n`.
     #[must_use]
     pub fn new(id: NodeId, cfg: Config) -> Self {
+        OpenCubeNode::with_shared_config(id, std::sync::Arc::new(cfg))
+    }
+
+    /// Like [`OpenCubeNode::new`] but sharing an already-allocated
+    /// configuration — `build_all` hands every node the same `Arc`.
+    #[must_use]
+    pub fn with_shared_config(id: NodeId, cfg: std::sync::Arc<Config>) -> Self {
         assert!((id.get() as usize) <= cfg.n, "node {id} outside 1..={}", cfg.n);
         let father = canonical_father(cfg.n, id);
         let is_root = father.is_none();
@@ -128,7 +141,7 @@ impl OpenCubeNode {
             local_claim: None,
             loan: None,
             search: None,
-            search_spare: SearchState::default(),
+            search_spare: None,
             inert: false,
             stats: NodeStats::default(),
         }
@@ -137,7 +150,8 @@ impl OpenCubeNode {
     /// Builds all `cfg.n` nodes in canonical initial positions.
     #[must_use]
     pub fn build_all(cfg: Config) -> Vec<OpenCubeNode> {
-        NodeId::all(cfg.n).map(|id| OpenCubeNode::new(id, cfg)).collect()
+        let shared = std::sync::Arc::new(cfg);
+        NodeId::all(cfg.n).map(|id| OpenCubeNode::with_shared_config(id, shared.clone())).collect()
     }
 
     // ---- public observers (used by tests, oracles and experiments) ----
@@ -193,6 +207,25 @@ impl OpenCubeNode {
         &self.cfg
     }
 
+    /// The shared configuration handle, for drivers that build extra nodes
+    /// of the same world (recovery, sharding) without re-allocating.
+    #[must_use]
+    pub fn shared_config(&self) -> std::sync::Arc<Config> {
+        self.cfg.clone()
+    }
+
+    /// Pre-sizes the fair waiting queue for `cap` queued claims — a pure
+    /// capacity hint. The queue holds at most one remote claim per peer,
+    /// so `cap = n` makes steady-state enqueues allocation-free; it is
+    /// opt-in (benches, the allocation audit) rather than the default
+    /// because at Corten scale an eager `n`-slot queue on all `n` nodes
+    /// would dwarf the per-node state the memory diet pays for.
+    pub fn reserve_queue(&mut self, cap: usize) {
+        if self.queue.capacity() < cap {
+            self.queue.reserve(cap - self.queue.len());
+        }
+    }
+
     pub(crate) fn id_inner(&self) -> NodeId {
         self.id
     }
@@ -215,7 +248,7 @@ impl OpenCubeNode {
     }
 
     pub(crate) fn config_inner(&self) -> Config {
-        self.cfg
+        *self.cfg
     }
 
     pub(crate) fn mandator_inner(&self) -> Option<NodeId> {
@@ -258,7 +291,7 @@ impl OpenCubeNode {
         }
     }
 
-    fn id_request(&self, seq: u64) -> Msg {
+    fn id_request(&self, seq: u32) -> Msg {
         Msg::Request { claimant: self.id, source: self.id, source_seq: seq }
     }
 
@@ -269,7 +302,7 @@ impl OpenCubeNode {
         &mut self,
         claimant: NodeId,
         source: NodeId,
-        source_seq: u64,
+        source_seq: u32,
         out: &mut Outbox<Msg>,
     ) {
         debug_assert!(!self.busy());
@@ -319,7 +352,7 @@ impl OpenCubeNode {
         }
     }
 
-    fn enqueue_remote(&mut self, claimant: NodeId, source: NodeId, source_seq: u64) {
+    fn enqueue_remote(&mut self, claimant: NodeId, source: NodeId, source_seq: u32) {
         // Duplicate suppression: regeneration races (Section 5) can re-send
         // a claim that is already queued here or already our mandate.
         if self.mandator == Some(claimant) {
@@ -457,7 +490,7 @@ impl OpenCubeNode {
         &mut self,
         claimant: NodeId,
         source: NodeId,
-        source_seq: u64,
+        source_seq: u32,
         out: &mut Outbox<Msg>,
     ) {
         let direct = claimant == source;
@@ -531,11 +564,11 @@ impl OpenCubeNode {
     }
 
     /// Claim bookkeeping accessors for search.rs.
-    pub(crate) fn current_claim_inner(&self) -> Option<(NodeId, u64)> {
+    pub(crate) fn current_claim_inner(&self) -> Option<(NodeId, u32)> {
         self.current_claim
     }
 
-    pub(crate) fn local_claim_status(&self, seq: u64) -> crate::message::EnquiryStatus {
+    pub(crate) fn local_claim_status(&self, seq: u32) -> crate::message::EnquiryStatus {
         use crate::message::EnquiryStatus;
         match self.local_claim {
             Some(lc) if lc.seq == seq => {
@@ -568,7 +601,7 @@ impl OpenCubeNode {
     /// suspicion was ill-founded or resolved elsewhere.
     pub(crate) fn abort_search_for_token(&mut self, out: &mut Outbox<Msg>) {
         if let Some(state) = self.search.take() {
-            self.search_spare = state;
+            self.search_spare = Some(state);
             out.cancel_timer(TIMER_SEARCH_PHASE);
         }
     }
@@ -695,6 +728,17 @@ impl Protocol for OpenCubeNode {
             && self.search.is_none()
             && self.mandator.is_none()
             && self.loan.is_none()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let search_bytes = |s: &Option<Box<SearchState>>| {
+            s.as_deref().map_or(0, |s| {
+                std::mem::size_of::<SearchState>() + s.pending.heap_bytes() + s.retry.heap_bytes()
+            })
+        };
+        self.queue.capacity() * std::mem::size_of::<Work>()
+            + search_bytes(&self.search)
+            + search_bytes(&self.search_spare)
     }
 }
 

@@ -153,6 +153,13 @@ impl RingSet {
         true
     }
 
+    /// Heap bytes held by the bitmask buffer (capacity, not length) — for
+    /// the memory-footprint report.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * core::mem::size_of::<u64>()
+    }
+
     /// Iterates the members in increasing identity order (the same order
     /// as [`oc_topology::ring_iter`] over the assigned ring).
     pub fn iter(&self) -> RingSetIter<'_> {

@@ -69,7 +69,7 @@ impl OpenCubeNode {
         let d = start_d.clamp(1, pmax);
         self.stats_mut().searches_started += 1;
         // Reuse the spare state's ring buffers instead of allocating.
-        let mut state = std::mem::take(&mut self.search_spare);
+        let mut state = self.search_spare.take().unwrap_or_default();
         state.d = d;
         state.start = d;
         self.search = Some(state);
@@ -80,7 +80,7 @@ impl OpenCubeNode {
     /// buffers are reused by the next search.
     fn recycle_search(&mut self) {
         if let Some(state) = self.search.take() {
-            self.search_spare = state;
+            self.search_spare = Some(state);
         }
     }
 
@@ -97,7 +97,7 @@ impl OpenCubeNode {
         search.pending.assign_ring(n, id, d);
         search.pending.fill();
         search.retry.assign_ring(n, id, d);
-        let probes = u64::from(search.pending.len());
+        let probes = search.pending.len();
         self.stats_mut().search_phases += 1;
         self.stats_mut().nodes_tested += probes;
         for member in ring_iter(n, id, d) {
@@ -127,7 +127,7 @@ impl OpenCubeNode {
             std::mem::swap(&mut search.pending, &mut search.retry);
             search.retry.clear();
             let d = search.d;
-            let probes = u64::from(search.pending.len());
+            let probes = search.pending.len();
             // A re-probe round is a search phase too (it sends tests and
             // waits the same 2δ); count it so phases × probes reconcile.
             self.stats_mut().search_phases += 1;

@@ -12,12 +12,12 @@ fn arb_node() -> impl Strategy<Value = NodeId> {
 
 fn arb_msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
-        (arb_node(), arb_node(), any::<u64>()).prop_map(|(claimant, source, source_seq)| {
+        (arb_node(), arb_node(), any::<u32>()).prop_map(|(claimant, source, source_seq)| {
             Msg::Request { claimant, source, source_seq }
         }),
         proptest::option::of(arb_node()).prop_map(|lender| Msg::Token { lender }),
-        any::<u64>().prop_map(|source_seq| Msg::Enquiry { source_seq }),
-        (any::<u64>(), 0u8..3).prop_map(|(source_seq, s)| Msg::EnquiryReply {
+        any::<u32>().prop_map(|source_seq| Msg::Enquiry { source_seq }),
+        (any::<u32>(), 0u8..3).prop_map(|(source_seq, s)| Msg::EnquiryReply {
             source_seq,
             status: match s {
                 0 => EnquiryStatus::StillInCs,

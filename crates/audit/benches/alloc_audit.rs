@@ -1,0 +1,42 @@
+//! Bench companion to the zero-allocation gate: times warm steady-state
+//! stretches of the audited scenario with the counting allocator
+//! installed, and prints the heap traffic per stretch alongside. CI
+//! builds this with `cargo bench --no-run` so the harness itself cannot
+//! rot; run it by hand for numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oc_audit::{scenario, CountingAlloc};
+use oc_sim::SimTime;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state_dispatch");
+    group.sample_size(10);
+    for n in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // One long-lived warm world per size; each iteration advances
+            // it by a fixed slice of virtual time.
+            let mut world = scenario::steady_state_world(n, 1_000_000, 42);
+            world.run_until(SimTime::from_ticks(50_000));
+            let mut deadline = 50_000u64;
+            let (allocs_before, _) = ALLOC.snapshot();
+            b.iter(|| {
+                deadline += 10_000;
+                world.run_until(SimTime::from_ticks(deadline));
+                world.metrics().events_processed
+            });
+            let (allocs_after, _) = ALLOC.snapshot();
+            println!(
+                "n={n}: {} events total, {} heap allocations during timed stretches",
+                world.metrics().events_processed,
+                allocs_after - allocs_before,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

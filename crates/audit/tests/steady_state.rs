@@ -1,0 +1,44 @@
+//! The zero-allocation regression gate: after a warmup phase establishes
+//! every capacity (calendar buckets, timer rows, node work queues, the
+//! shared outbox, per-node pending queues), a measured stretch of the
+//! same run must not allocate a single byte.
+//!
+//! The run is seeded and single-threaded, so this is a deterministic
+//! property, not a flaky threshold: a heap touch introduced anywhere in
+//! the dispatch loop — `Core::send`, timer arming, search bookkeeping,
+//! metrics, the oracle's census — fails it reproducibly, and the armed
+//! trap aborts with a backtrace at the exact allocation site.
+//!
+//! This is a `harness = false` test on purpose: libtest runs tests on
+//! spawned threads whose channel machinery allocates while the test body
+//! runs, polluting the process-global counter.
+
+use oc_audit::{scenario, CountingAlloc};
+use oc_sim::SimTime;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn main() {
+    let mut world = scenario::steady_state_world(64, 4_000, 42);
+    // Warmup: half the schedule. Arrivals span requests × gap ticks.
+    let drained = world.run_until(SimTime::from_ticks(80_000));
+    assert!(!drained, "warmup consumed the whole schedule");
+    let warm_events = world.metrics().events_processed;
+
+    oc_audit::trap_next_allocation();
+    let before = ALLOC.snapshot();
+    world.run_until(SimTime::from_ticks(160_000));
+    let after = ALLOC.snapshot();
+    oc_audit::disarm_allocation_trap();
+
+    let measured = world.metrics().events_processed - warm_events;
+    assert!(measured > 10_000, "measured window too small: {measured} events");
+    assert_eq!(
+        before, after,
+        "steady-state loop touched the heap across {measured} events \
+         (allocations, bytes): {before:?} -> {after:?}"
+    );
+    assert!(world.oracle_report().is_clean());
+    println!("steady-state audit: 0 allocations across {measured} events — ok");
+}

@@ -1,6 +1,7 @@
 //! Microbenches for the zero-allocation topology/search fast path:
-//! ring enumeration (`ring_iter` vs the materializing `nodes_at_distance`)
-//! and search-set bookkeeping (`RingSet` vs the `BTreeSet` it replaced).
+//! ring enumeration (`ring_iter`, with `nodes_at_distance` — now an alias
+//! of it — kept as a regression sentinel against re-materialization) and
+//! search-set bookkeeping (`RingSet` vs the `BTreeSet` it replaced).
 
 use std::collections::BTreeSet;
 

@@ -376,15 +376,34 @@ fn e6(options: &Options) {
 fn e7(options: &Options) {
     println!("== E7: engine throughput scaling (events/sec, heap vs bucketed queue) ==\n");
     println!(
-        "{:>9} {:>10} {:>5} {:>10} {:>12} {:>12} {:>10} {:>10} {:>14}",
-        "N", "backend", "rep", "requests", "events", "messages", "msgs/req", "wall s", "events/sec"
+        "{:>9} {:>10} {:>11} {:>5} {:>10} {:>12} {:>12} {:>10} {:>8} {:>10} {:>14}",
+        "N",
+        "backend",
+        "driver",
+        "rep",
+        "requests",
+        "events",
+        "messages",
+        "msgs/req",
+        "B/node",
+        "wall s",
+        "events/sec"
     );
     // (n, requests, independent seeds): the scaling ladder tops out at
-    // n = 2^20 — the "production scale" target of the ROADMAP.
+    // n = 2^24 — the Corten-scale target of the ROADMAP. The 2^22 and
+    // 2^24 rungs run one request per node at a single seed: at that size
+    // the workload is statistically self-averaging and a second
+    // repetition would only double a multi-minute run.
     let plan: &[(usize, usize, usize)] = if options.quick {
         &[(4_096, 8_192, 2)]
     } else {
-        &[(4_096, 8_192, 2), (65_536, 131_072, 2), (1_048_576, 1_048_576, 1)]
+        &[
+            (4_096, 8_192, 2),
+            (65_536, 131_072, 2),
+            (1_048_576, 1_048_576, 1),
+            (4_194_304, 4_194_304, 1),
+            (16_777_216, 16_777_216, 1),
+        ]
     };
     let cells = e7_cells(plan, options.master_seed);
     // E7's wall-clock columns are the artifact of record: concurrent
@@ -398,14 +417,16 @@ fn e7(options: &Options) {
     let outcome = e7_sweep(&cells, threads);
     for (cell, row) in cells.iter().zip(&outcome.results) {
         println!(
-            "{:>9} {:>10} {:>5} {:>10} {:>12} {:>12} {:>10.2} {:>10.3} {:>14.0}",
+            "{:>9} {:>10} {:>11} {:>5} {:>10} {:>12} {:>12} {:>10.2} {:>8} {:>10.3} {:>14.0}",
             row.n,
             format!("{:?}", row.backend).to_lowercase(),
+            oc_bench::driver_label(row.driver),
             cell.seed_index,
             row.requests,
             row.events,
             row.messages,
             row.messages as f64 / row.requests as f64,
+            row.mem_bytes_per_node,
             row.wall_secs,
             row.events_per_sec,
         );

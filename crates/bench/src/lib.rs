@@ -25,7 +25,8 @@ pub mod sweep;
 use oc_algo::{Config, OpenCubeNode};
 use oc_baselines::{CentralNode, NaimiTrehelNode, RaymondNode};
 use oc_sim::{
-    ArrivalSchedule, DelayModel, Protocol, QueueBackend, SimConfig, SimDuration, SimTime, World,
+    ArrivalSchedule, DelayModel, Driver, Protocol, QueueBackend, SimConfig, SimDuration, SimTime,
+    World,
 };
 use oc_topology::NodeId;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -48,7 +49,9 @@ fn sim_config(seed: u64) -> SimConfig {
         cs_duration: SimDuration::from_ticks(CS_TICKS),
         seed,
         record_trace: false,
-        max_events: 200_000_000,
+        // Headroom for the full E7 ladder: n = 2^24 under uniform load
+        // processes ~2.4e8 events; the cap only guards against wedges.
+        max_events: 2_000_000_000,
         ..SimConfig::default()
     }
 }
@@ -252,8 +255,8 @@ pub fn e3_failures(n: usize, failures: usize, seed: u64) -> E3Row {
         failures: failures as u64,
         overhead_per_failure: overhead as f64 / failures as f64,
         extra_per_failure: extra as f64 / failures as f64,
-        searches: stats.searches_started,
-        regenerations: stats.tokens_regenerated,
+        searches: u64::from(stats.searches_started),
+        regenerations: u64::from(stats.tokens_regenerated),
         served: world.metrics().cs_entries,
         injected: world.requests_injected(),
     }
@@ -327,8 +330,8 @@ pub fn e4_cell(n: usize, victim_power: u32, seed: u64) -> E4Row {
         victim_power,
         start_phase: 1,
         predicted_probes: predicted,
-        measured_probes: stats.nodes_tested,
-        regenerated: stats.tokens_regenerated,
+        measured_probes: u64::from(stats.nodes_tested),
+        regenerated: u64::from(stats.tokens_regenerated),
     }
 }
 
@@ -466,7 +469,11 @@ pub struct E5Row {
     pub post_burst_worst: u64,
 }
 
-fn run_schedule<P: Protocol>(nodes: Vec<P>, schedule: &ArrivalSchedule, seed: u64) -> (f64, u64) {
+fn run_schedule<P: Protocol + Send>(
+    nodes: Vec<P>,
+    schedule: &ArrivalSchedule,
+    seed: u64,
+) -> (f64, u64) {
     let mut world = World::new(sim_config(seed), nodes);
     world.schedule_workload(schedule);
     assert!(world.run_to_quiescence(), "E5 run wedged");
@@ -478,7 +485,7 @@ fn run_schedule<P: Protocol>(nodes: Vec<P>, schedule: &ArrivalSchedule, seed: u6
 /// Burst: every node requests in the same tick, then — once the burst has
 /// bent the structure into its worst reachable shape — each node issues
 /// one more request sequentially and we record the costliest one.
-fn run_burst<P: Protocol>(nodes: Vec<P>, n: usize, seed: u64) -> (f64, u64) {
+fn run_burst<P: Protocol + Send>(nodes: Vec<P>, n: usize, seed: u64) -> (f64, u64) {
     let mut world = World::new(sim_config(seed), nodes);
     for raw in 1..=n as u32 {
         world.schedule_request(SimTime::ZERO, NodeId::new(raw));
@@ -498,7 +505,7 @@ fn run_burst<P: Protocol>(nodes: Vec<P>, n: usize, seed: u64) -> (f64, u64) {
     (burst_avg, worst)
 }
 
-fn run_sequential<P: Protocol>(
+fn run_sequential<P: Protocol + Send>(
     mut make: impl FnMut() -> Vec<P>,
     n: usize,
     seed: u64,
@@ -527,7 +534,7 @@ fn run_sequential<P: Protocol>(
 /// concurrent and hotspot schedules are rebuilt from `seed` alone, so
 /// every algorithm at one `(n, seed)` faces byte-identical workloads no
 /// matter which sweep cell (or thread) it runs in.
-fn e5_measure<P: Protocol>(
+fn e5_measure<P: Protocol + Send>(
     make: impl Fn() -> Vec<P>,
     n: usize,
     seed: u64,
@@ -620,8 +627,8 @@ pub fn e6_cell(n: usize, slack: u64, seed: u64) -> E6Row {
     E6Row {
         n,
         slack,
-        spurious_searches: stats.searches_started,
-        wasted_probes: stats.nodes_tested,
+        spurious_searches: u64::from(stats.searches_started),
+        wasted_probes: u64::from(stats.nodes_tested),
         msgs_per_cs: world.metrics().messages_per_cs(),
         all_served: world.metrics().cs_entries == world.requests_injected(),
     }
@@ -638,6 +645,8 @@ pub struct E7Row {
     pub n: usize,
     /// Which event-queue backend ran the simulation.
     pub backend: QueueBackend,
+    /// Which event-loop driver ran the simulation.
+    pub driver: Driver,
     /// The cell's derived RNG seed (recorded so a row can be replayed).
     pub seed: u64,
     /// Requests injected (all served — asserted).
@@ -646,6 +655,9 @@ pub struct E7Row {
     pub events: u64,
     /// Protocol messages sent.
     pub messages: u64,
+    /// Resident per-node state at end of run, in bytes (protocol node +
+    /// substrate containers; see `World::mem_bytes_per_node`).
+    pub mem_bytes_per_node: u64,
     /// Wall-clock seconds for the whole run.
     pub wall_secs: f64,
     /// Events per wall-clock second — the engine's headline number.
@@ -660,9 +672,16 @@ pub struct E7Row {
 /// across backends (the determinism tests pin that); only the wall clock
 /// may differ.
 #[must_use]
-pub fn e7_throughput(n: usize, requests: usize, seed: u64, backend: QueueBackend) -> E7Row {
+pub fn e7_throughput(
+    n: usize,
+    requests: usize,
+    seed: u64,
+    backend: QueueBackend,
+    driver: Driver,
+) -> E7Row {
     let mut config = sim_config(seed);
     config.queue = backend;
+    config.driver = driver;
     let mut rng = StdRng::seed_from_u64(seed);
     let schedule = ArrivalSchedule::uniform(&mut rng, n, requests, SimDuration::from_ticks(25));
     let mut world = World::new(config, OpenCubeNode::build_all(plain_cfg(n)));
@@ -677,10 +696,12 @@ pub fn e7_throughput(n: usize, requests: usize, seed: u64, backend: QueueBackend
     E7Row {
         n,
         backend,
+        driver,
         seed,
         requests: world.requests_injected(),
         events,
         messages: world.metrics().total_sent(),
+        mem_bytes_per_node: world.mem_bytes_per_node(),
         wall_secs,
         events_per_sec: if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 },
     }
@@ -856,6 +877,8 @@ pub struct E7Cell {
     pub requests: usize,
     /// Event-queue backend under test.
     pub backend: QueueBackend,
+    /// Event-loop driver under test.
+    pub driver: Driver,
     /// Which independent repetition of this size (0-based).
     pub seed_index: usize,
     /// Derived RNG seed for this cell.
@@ -863,7 +886,10 @@ pub struct E7Cell {
 }
 
 /// Expands an E7 scaling plan — `(n, requests, independent seeds)` — into
-/// cells over both queue backends.
+/// cells over both queue backends, plus one windowed-driver cell per plan
+/// entry (bucketed queue, two reaction workers, seed 0 — the same seed as
+/// the serial bucketed cell, so the pair doubles as an end-to-end
+/// cross-driver determinism check on real workloads).
 #[must_use]
 pub fn e7_cells(plan: &[(usize, usize, usize)], master: u64) -> Vec<E7Cell> {
     let mut cells = Vec::new();
@@ -871,9 +897,24 @@ pub fn e7_cells(plan: &[(usize, usize, usize)], master: u64) -> Vec<E7Cell> {
         for seed_index in 0..seeds {
             for backend in [QueueBackend::Heap, QueueBackend::Bucketed] {
                 let seed = derive_seed(master, stream_id(S_E7, n as u64, seed_index as u64));
-                cells.push(E7Cell { n, requests, backend, seed_index, seed });
+                cells.push(E7Cell {
+                    n,
+                    requests,
+                    backend,
+                    driver: Driver::Serial,
+                    seed_index,
+                    seed,
+                });
             }
         }
+        cells.push(E7Cell {
+            n,
+            requests,
+            backend: QueueBackend::Bucketed,
+            driver: Driver::Windowed { threads: 2 },
+            seed_index: 0,
+            seed: derive_seed(master, stream_id(S_E7, n as u64, 0)),
+        });
     }
     cells
 }
@@ -885,7 +926,7 @@ pub fn e7_cells(plan: &[(usize, usize, usize)], master: u64) -> Vec<E7Cell> {
 #[must_use]
 pub fn e7_sweep(cells: &[E7Cell], threads: usize) -> SweepOutcome<E7Row> {
     sweep::sweep(cells, threads, |_, cell| {
-        e7_throughput(cell.n, cell.requests, cell.seed, cell.backend)
+        e7_throughput(cell.n, cell.requests, cell.seed, cell.backend, cell.driver)
     })
 }
 
@@ -1044,6 +1085,15 @@ impl E6Row {
     }
 }
 
+/// Renders a [`Driver`] for tables and JSON: `serial` or `windowed:k`.
+#[must_use]
+pub fn driver_label(driver: Driver) -> String {
+    match driver {
+        Driver::Serial => "serial".to_string(),
+        Driver::Windowed { threads } => format!("windowed:{}", threads.max(1)),
+    }
+}
+
 impl E7Row {
     /// Serializes the row for `BENCH_E7.json`.
     #[must_use]
@@ -1051,6 +1101,7 @@ impl E7Row {
         Value::Obj(vec![
             ("n", Value::UInt(self.n as u64)),
             ("backend", Value::str(format!("{:?}", self.backend).to_lowercase())),
+            ("driver", Value::str(driver_label(self.driver))),
             ("seed", Value::UInt(self.seed)),
             ("requests", Value::UInt(self.requests)),
             ("events", Value::UInt(self.events)),
@@ -1063,6 +1114,7 @@ impl E7Row {
                     self.messages as f64 / self.requests as f64
                 }),
             ),
+            ("mem_bytes_per_node", Value::UInt(self.mem_bytes_per_node)),
             ("wall_secs", Value::Num(self.wall_secs)),
             ("events_per_sec", Value::Num(self.events_per_sec)),
         ])
@@ -1159,12 +1211,18 @@ mod tests {
 
     #[test]
     fn e7_backends_agree_on_virtual_results() {
-        let heap = e7_throughput(64, 128, 1, QueueBackend::Heap);
-        let bucketed = e7_throughput(64, 128, 1, QueueBackend::Bucketed);
+        let heap = e7_throughput(64, 128, 1, QueueBackend::Heap, Driver::Serial);
+        let bucketed = e7_throughput(64, 128, 1, QueueBackend::Bucketed, Driver::Serial);
+        let windowed =
+            e7_throughput(64, 128, 1, QueueBackend::Bucketed, Driver::Windowed { threads: 2 });
         assert_eq!(heap.requests, 128);
         assert_eq!(heap.events, bucketed.events);
         assert_eq!(heap.messages, bucketed.messages);
+        assert_eq!(windowed.events, bucketed.events);
+        assert_eq!(windowed.messages, bucketed.messages);
         assert!(bucketed.events_per_sec > 0.0);
+        assert!(bucketed.mem_bytes_per_node > 0);
+        assert_eq!(windowed.mem_bytes_per_node, bucketed.mem_bytes_per_node);
     }
 
     #[test]
@@ -1225,13 +1283,18 @@ mod tests {
     #[test]
     fn e7_cells_expand_the_scaling_plan() {
         let cells = e7_cells(&[(64, 128, 2), (128, 64, 1)], 42);
-        // 2 seeds × 2 backends + 1 seed × 2 backends.
-        assert_eq!(cells.len(), 6);
+        // Per entry: seeds × 2 serial backends + 1 windowed cell.
+        assert_eq!(cells.len(), 5 + 3);
         // Heap/bucketed pairs share the seed, so their virtual results
         // must agree.
         assert_eq!(cells[0].seed, cells[1].seed);
         assert_ne!(cells[0].seed, cells[2].seed);
-        assert_ne!(cells[0].seed, cells[4].seed);
+        // The windowed cell reuses seed 0 of its entry: together with the
+        // serial bucketed cell it pins cross-driver determinism.
+        assert_eq!(cells[4].driver, Driver::Windowed { threads: 2 });
+        assert_eq!(cells[4].seed, cells[1].seed);
+        assert_eq!(cells[4].backend, QueueBackend::Bucketed);
+        assert_ne!(cells[0].seed, cells[5].seed);
     }
 
     #[test]
@@ -1245,6 +1308,9 @@ mod tests {
         assert!(text.contains("\"experiment\":\"e7\""));
         assert!(text.contains("\"events_per_sec\""));
         assert!(text.contains("\"msgs_per_request\""));
+        assert!(text.contains("\"mem_bytes_per_node\""));
+        assert!(text.contains("\"driver\":\"serial\""));
+        assert!(text.contains("\"driver\":\"windowed:2\""));
         assert!(text.contains("\"parallel_speedup\""));
 
         let e1 = e1_sweep(&[8], 1, 42, 1);

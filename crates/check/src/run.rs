@@ -115,7 +115,7 @@ pub fn run_scenario(scenario: &Scenario, mutation: Mutation) -> Outcome {
 #[must_use]
 pub fn run_scenario_with<P, F>(scenario: &Scenario, build: F) -> Outcome
 where
-    P: Protocol,
+    P: Protocol + Send,
     F: FnOnce(&Scenario) -> Vec<P>,
 {
     let sim = SimConfig {

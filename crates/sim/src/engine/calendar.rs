@@ -77,6 +77,11 @@ pub struct CalendarQueue<E> {
     cursor: usize,
     /// Ticks covered by one bucket.
     bucket_width: u64,
+    /// `log2(bucket_width)` when the width is a power of two — the common
+    /// case (the simulator sizes widths from δ rounded up to a power of
+    /// two) — so the per-push bucket index is a shift, not a 64-bit
+    /// division. `None` falls back to division.
+    width_shift: Option<u32>,
     /// The calendar window `[base, base + BUCKETS * bucket_width)`.
     buckets: Vec<Vec<Entry<E>>>,
     /// Far-future fallback: everything at or beyond the window end.
@@ -96,6 +101,7 @@ impl<E> CalendarQueue<E> {
             base: 0,
             cursor: 0,
             bucket_width,
+            width_shift: bucket_width.is_power_of_two().then(|| bucket_width.trailing_zeros()),
             buckets: std::iter::repeat_with(Vec::new).take(BUCKETS).collect(),
             overflow: BinaryHeap::new(),
             len: 0,
@@ -120,6 +126,40 @@ impl<E> CalendarQueue<E> {
         self.near.peek().map(|Reverse(e)| e.at)
     }
 
+    /// Pre-sizes every tier for sustained load: each bucket to capacity
+    /// for at least `per_bucket` entries, and the near/overflow heaps for
+    /// `heap` more entries each. Window refills re-map tick ranges onto
+    /// buckets, so without this a long run keeps paying occasional
+    /// bucket-growth reallocations whenever a bucket sees a new peak;
+    /// reserving up front makes the steady-state loop allocation-free.
+    pub fn reserve(&mut self, per_bucket: usize, heap: usize) {
+        for bucket in &mut self.buckets {
+            if bucket.capacity() < per_bucket {
+                bucket.reserve(per_bucket - bucket.len());
+            }
+        }
+        self.near.reserve(heap);
+        self.overflow.reserve(heap);
+    }
+
+    /// `(t - base) / bucket_width`, via shift when the width allows.
+    #[inline]
+    fn bucket_index(&self, t: u64) -> usize {
+        match self.width_shift {
+            Some(shift) => ((t - self.base) >> shift) as usize,
+            None => ((t - self.base) / self.bucket_width) as usize,
+        }
+    }
+
+    /// Rounds `t` down to a bucket boundary.
+    #[inline]
+    fn align_to_width(&self, t: u64) -> u64 {
+        match self.width_shift {
+            Some(shift) => (t >> shift) << shift,
+            None => (t / self.bucket_width) * self.bucket_width,
+        }
+    }
+
     fn window_end(&self) -> u64 {
         self.base.saturating_add((BUCKETS as u64).saturating_mul(self.bucket_width))
     }
@@ -134,7 +174,7 @@ impl<E> CalendarQueue<E> {
             return;
         }
         if t < self.window_end() {
-            let idx = ((t - self.base) / self.bucket_width) as usize;
+            let idx = self.bucket_index(t);
             debug_assert!(idx >= self.cursor, "push below the calendar cursor");
             self.buckets[idx].push(entry);
         } else {
@@ -200,7 +240,7 @@ impl<E> CalendarQueue<E> {
                 unreachable!("calendar advance with no events outside near");
             };
             let first_tick = first.at.ticks();
-            self.base = (first_tick / self.bucket_width) * self.bucket_width;
+            self.base = self.align_to_width(first_tick);
             self.cursor = 0;
             let window_end = self.window_end();
             if first_tick >= window_end {
@@ -218,7 +258,7 @@ impl<E> CalendarQueue<E> {
                     break;
                 }
                 let Some(Reverse(entry)) = self.overflow.pop() else { unreachable!() };
-                let idx = ((entry.at.ticks() - self.base) / self.bucket_width) as usize;
+                let idx = self.bucket_index(entry.at.ticks());
                 self.buckets[idx].push(entry);
             }
         }

@@ -77,26 +77,46 @@ impl TimerRow {
     }
 }
 
-/// Node-indexed timer rows plus the generation counter, for the simulator.
+/// Node-indexed timer rows plus per-node generation counters, for the
+/// simulator.
+///
+/// Generations are per node, not global: a generation only ever guards
+/// firings on its own row, so node-local counters preserve the stale-timer
+/// semantics exactly while letting a windowed driver arm timers on disjoint
+/// node ranges concurrently without contending on one shared counter.
 #[derive(Debug)]
 pub struct TimerTable {
     rows: Vec<TimerRow>,
-    next_generation: u64,
+    gens: Vec<u64>,
 }
 
 impl TimerTable {
     /// A table for `n` nodes (indexed `0..n`).
     #[must_use]
     pub fn new(n: usize) -> Self {
-        TimerTable { rows: vec![TimerRow::new(); n], next_generation: 0 }
+        TimerTable { rows: vec![TimerRow::new(); n], gens: vec![0; n] }
+    }
+
+    /// Heap bytes held by the table: the two node-indexed vectors plus
+    /// every row's slot capacity. For the memory-footprint report.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<TimerRow>()
+            + self.gens.capacity() * std::mem::size_of::<u64>()
+            + self
+                .rows
+                .iter()
+                .map(|row| row.slots.capacity() * std::mem::size_of::<(u64, u64)>())
+                .sum::<usize>()
     }
 
     /// Arms `id` on node `idx`, returning the generation the scheduled
     /// timer event must carry to fire.
     pub fn arm(&mut self, idx: usize, id: u64) -> u64 {
-        self.next_generation += 1;
-        self.rows[idx].arm(id, self.next_generation);
-        self.next_generation
+        self.gens[idx] += 1;
+        let generation = self.gens[idx];
+        self.rows[idx].arm(id, generation);
+        generation
     }
 
     /// Disarms `id` on node `idx`.
@@ -112,6 +132,12 @@ impl TimerTable {
     /// Disarms everything on node `idx` (crash).
     pub fn clear_node(&mut self, idx: usize) {
         self.rows[idx].clear();
+    }
+
+    /// The rows and generation counters as parallel slices, so the
+    /// windowed driver can split them into disjoint per-chunk borrows.
+    pub(crate) fn parts_mut(&mut self) -> (&mut [TimerRow], &mut [u64]) {
+        (&mut self.rows, &mut self.gens)
     }
 }
 

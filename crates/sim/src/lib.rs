@@ -25,6 +25,7 @@
 
 mod outbox;
 mod time;
+mod windowed;
 
 pub mod channel;
 pub mod crash;
@@ -57,4 +58,4 @@ pub use queue::{EventQueue, QueueBackend};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};
 pub use workload::{ArrivalSchedule, Workload};
-pub use world::{SimConfig, World};
+pub use world::{Driver, SimConfig, World};

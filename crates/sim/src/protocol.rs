@@ -78,7 +78,7 @@ pub trait MessageKind {
 /// deterministic simulator, the threaded runtime, and scripted unit tests.
 pub trait Protocol {
     /// The protocol's wire message type.
-    type Msg: Clone + fmt::Debug + MessageKind + Send + 'static;
+    type Msg: Clone + fmt::Debug + MessageKind + Send + Sync + 'static;
 
     /// This node's identity.
     fn id(&self) -> NodeId;
@@ -105,6 +105,15 @@ pub trait Protocol {
     /// for closed-loop experiments. Default: not in CS.
     fn is_idle(&self) -> bool {
         !self.in_cs()
+    }
+
+    /// Bytes this node owns on the heap *beyond* `size_of::<Self>()` —
+    /// queue capacities, boxed search state, bitmask words. Used by the
+    /// memory-footprint report ([`crate::World::mem_bytes_per_node`]); an
+    /// estimate, not an exact malloc census. Default: 0 (inline-only
+    /// state).
+    fn heap_bytes(&self) -> usize {
+        0
     }
 }
 

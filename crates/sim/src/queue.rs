@@ -82,6 +82,19 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Pre-sizes the store for sustained load: on the bucketed backend,
+    /// every calendar bucket gets capacity for `per_bucket` entries and
+    /// the internal heaps room for `heap` more each; the plain heap
+    /// backend reserves `heap`. Purely a capacity hint — behaviour is
+    /// unchanged, but a warm queue keeps the steady-state event loop
+    /// allocation-free (see the `oc-audit` crate).
+    pub fn reserve(&mut self, per_bucket: usize, heap: usize) {
+        match &mut self.store {
+            Store::Heap(binary_heap) => binary_heap.reserve(heap),
+            Store::Bucketed(calendar) => calendar.reserve(per_bucket, heap),
+        }
+    }
+
     /// Schedules `event` at virtual time `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;

@@ -1,0 +1,447 @@
+//! Conservative window-based parallel driver.
+//!
+//! The serial driver processes one event at a time; this module processes
+//! *windows* of events whose protocol reactions provably commute, computing
+//! those reactions on worker threads while keeping every globally-ordered
+//! side effect on the calling thread — so the windowed driver is
+//! byte-identical to the serial one (traces, metrics, RNG draws, event
+//! sequence numbers) at **any** thread count.
+//!
+//! # The safe horizon
+//!
+//! Let `T` be the timestamp of the earliest pending event and `L` the
+//! *lookahead*: the minimum link delay, clamped by the CS duration and
+//! floored at one tick. Every event in `[T, T + L)` can have its protocol
+//! reaction computed before any of them commits, because
+//!
+//! * a reaction only mutates the state of the event's target node, and the
+//!   calendar queue never carries two same-window events whose order a
+//!   reaction could change: messages sent at `t ≥ T` are delivered no
+//!   earlier than `t + min_delay ≥ T + L`, CS exits are scheduled at
+//!   `t + cs_duration ≥ T + L`, and protocol timeouts are asserted to
+//!   land at or beyond the horizon;
+//! * with `L = 1` the window is a single tick, and events generated *at*
+//!   that tick carry larger sequence numbers than everything already
+//!   popped, so even a zero-delay effect pops after the whole window —
+//!   exactly where the serial driver would process it;
+//! * crash and recovery events mutate global state (`alive`, queue purges)
+//!   and act as barriers: a window never contains one.
+//!
+//! # Two phases
+//!
+//! **Phase A (parallel)** partitions nodes into contiguous chunks, one per
+//! worker. Each worker scans the window and, for events targeting its
+//! chunk, applies the substrate guards (alive, timer generation, `in_cs`),
+//! feeds the event to the protocol state machine, applies node-local
+//! effects immediately (timer rows and generations are per-node, `in_cs`
+//! is per-node), and records the globally-ordered effects — sends, CS
+//! entries, timer schedules — as a replay list.
+//!
+//! **Phase B (serial)** walks the window in canonical `(time, seq)` order
+//! and commits each event: metrics, traces, oracle calls, and the recorded
+//! actions — sends go through the *same* [`ActionSink`] implementation the
+//! serial driver uses, so fault draws, delay samples, and queue sequence
+//! numbers happen in the identical order.
+//!
+//! The serial driver stays allocation-free in steady state; the windowed
+//! driver trades per-event replay buffers (and per-window scatter tables)
+//! for parallelism, which is the right trade only when windows are wide —
+//! small windows fall back to the serial path below
+//! [`PARALLEL_THRESHOLD`].
+
+use oc_topology::NodeId;
+
+use crate::{
+    engine::{self, ActionSink, TimerRow},
+    outbox::Outbox,
+    protocol::{MessageKind, NodeEvent, Protocol},
+    time::{SimDuration, SimTime},
+    trace::TraceRecord,
+    world::{SimEvent, World},
+};
+
+/// Windows smaller than this are processed on the calling thread through
+/// the ordinary serial path — thread-scope setup costs more than it buys.
+const PARALLEL_THRESHOLD: usize = 128;
+
+/// A globally-ordered side effect recorded by a window worker, committed
+/// serially in canonical order by phase B.
+enum ReplayAction<M> {
+    Send { to: NodeId, msg: M },
+    EnterCs,
+    SetTimer { id: u64, generation: u64, fire_at: SimTime },
+}
+
+/// One event's recorded reaction.
+struct Outcome<M> {
+    /// `false` when a substrate guard rejected the event (dead target,
+    /// stale timer generation, spurious CS exit): no protocol code ran.
+    dispatched: bool,
+    /// Change of the node's `alive && holds_token` census flag.
+    holds_delta: i8,
+    actions: Vec<ReplayAction<M>>,
+}
+
+impl<M> Outcome<M> {
+    fn rejected() -> Self {
+        Outcome { dispatched: false, holds_delta: 0, actions: Vec::new() }
+    }
+}
+
+/// The worker-side [`ActionSink`]: node-local effects apply immediately,
+/// global effects are recorded for phase B.
+struct WindowSink<'a, M> {
+    rows: &'a mut [TimerRow],
+    gens: &'a mut [u64],
+    in_cs: &'a mut [bool],
+    /// Zero-based index of the chunk's first node.
+    start: usize,
+    /// Zero-based index of the node being driven.
+    idx: usize,
+    now: SimTime,
+    actions: Vec<ReplayAction<M>>,
+}
+
+impl<M> ActionSink<M> for WindowSink<'_, M> {
+    fn send(&mut self, _from: NodeId, to: NodeId, msg: M) {
+        self.actions.push(ReplayAction::Send { to, msg });
+    }
+
+    fn enter_cs(&mut self, _node: NodeId) {
+        self.in_cs[self.idx - self.start] = true;
+        self.actions.push(ReplayAction::EnterCs);
+    }
+
+    fn set_timer(&mut self, _node: NodeId, id: u64, delay: SimDuration) {
+        let rel = self.idx - self.start;
+        self.gens[rel] += 1;
+        let generation = self.gens[rel];
+        self.rows[rel].arm(id, generation);
+        self.actions.push(ReplayAction::SetTimer { id, generation, fire_at: self.now + delay });
+    }
+
+    fn cancel_timer(&mut self, _node: NodeId, id: u64) {
+        self.rows[self.idx - self.start].cancel(id);
+    }
+}
+
+/// One worker's disjoint slice of the per-node state.
+struct Chunk<'a, P: Protocol> {
+    /// Zero-based index of the first node in the chunk.
+    start: usize,
+    nodes: &'a mut [P],
+    holds_token: &'a mut [bool],
+    in_cs: &'a mut [bool],
+    rows: &'a mut [TimerRow],
+    gens: &'a mut [u64],
+}
+
+/// The target node of a window event (barrier events never enter windows).
+fn target<M>(event: &SimEvent<M>) -> NodeId {
+    match event {
+        SimEvent::Deliver { to, .. } => *to,
+        SimEvent::Timer { node, .. } | SimEvent::RequestCs { node } | SimEvent::ExitCs { node } => {
+            *node
+        }
+        SimEvent::Crash { .. } | SimEvent::Recover { .. } => {
+            unreachable!("barrier events never enter a window")
+        }
+    }
+}
+
+/// Phase A worker: computes reactions for every window event targeting
+/// `chunk`, in canonical order. Returns `(window position, outcome)` pairs.
+fn react<P: Protocol>(
+    chunk: Chunk<'_, P>,
+    window: &[(SimTime, SimEvent<P::Msg>)],
+    alive: &[bool],
+) -> Vec<(usize, Outcome<P::Msg>)> {
+    let mut out = Vec::new();
+    let mut outbox = Outbox::new();
+    let end = chunk.start + chunk.nodes.len();
+    for (pos, (at, event)) in window.iter().enumerate() {
+        let idx = target(event).zero_based() as usize;
+        if idx < chunk.start || idx >= end {
+            continue;
+        }
+        let rel = idx - chunk.start;
+        // Substrate guards — mirrors of the serial handlers in `World`.
+        let node_event = match event {
+            SimEvent::Deliver { from, msg, .. } => {
+                if !alive[idx] {
+                    out.push((pos, Outcome::rejected()));
+                    continue;
+                }
+                NodeEvent::Deliver { from: *from, msg: msg.clone() }
+            }
+            SimEvent::Timer { id, generation, .. } => {
+                if !alive[idx] || !chunk.rows[rel].fire(*id, *generation) {
+                    out.push((pos, Outcome::rejected()));
+                    continue;
+                }
+                NodeEvent::Timer(*id)
+            }
+            SimEvent::RequestCs { .. } => {
+                if !alive[idx] {
+                    out.push((pos, Outcome::rejected()));
+                    continue;
+                }
+                NodeEvent::RequestCs
+            }
+            SimEvent::ExitCs { .. } => {
+                if !alive[idx] || !chunk.in_cs[rel] {
+                    out.push((pos, Outcome::rejected()));
+                    continue;
+                }
+                chunk.in_cs[rel] = false;
+                NodeEvent::ExitCs
+            }
+            SimEvent::Crash { .. } | SimEvent::Recover { .. } => unreachable!(),
+        };
+        let mut sink = WindowSink {
+            rows: &mut *chunk.rows,
+            gens: &mut *chunk.gens,
+            in_cs: &mut *chunk.in_cs,
+            start: chunk.start,
+            idx,
+            now: *at,
+            actions: Vec::new(),
+        };
+        engine::drive(&mut chunk.nodes[rel], node_event, &mut outbox, &mut sink);
+        let held = alive[idx] && chunk.nodes[rel].holds_token();
+        let mut holds_delta = 0i8;
+        if held != chunk.holds_token[rel] {
+            chunk.holds_token[rel] = held;
+            holds_delta = if held { 1 } else { -1 };
+        }
+        out.push((pos, Outcome { dispatched: true, holds_delta, actions: sink.actions }));
+    }
+    out
+}
+
+impl<P: Protocol + Send> World<P> {
+    /// The conservative lookahead `L`: how far past the earliest pending
+    /// event a window may reach while every generated effect still lands
+    /// at or beyond the horizon (or, at `L = 1`, behind the whole window
+    /// in sequence order). See the module docs for the argument.
+    fn lookahead(&self) -> SimDuration {
+        let ticks = self
+            .core
+            .config
+            .delay
+            .min_delay()
+            .ticks()
+            .min(self.core.config.cs_duration.ticks())
+            .max(1);
+        SimDuration::from_ticks(ticks)
+    }
+
+    /// The windowed counterpart of [`World::run_to_quiescence_serial`]:
+    /// same result, same trace, computed window-by-window.
+    pub(crate) fn run_to_quiescence_windowed(&mut self, threads: usize) -> bool {
+        let threads = threads.max(1);
+        let lookahead = self.lookahead();
+        let mut window: Vec<(SimTime, SimEvent<P::Msg>)> = Vec::new();
+        loop {
+            let budget =
+                self.core.config.max_events.saturating_sub(self.core.metrics.events_processed);
+            if budget == 0 {
+                return false;
+            }
+            let Some(window_start) = self.core.queue.peek_time() else {
+                return true;
+            };
+            let window_end =
+                SimTime::from_ticks(window_start.ticks().saturating_add(lookahead.ticks()));
+            // Collect the window: everything below the horizon, stopping at
+            // the first barrier event and at the event budget.
+            window.clear();
+            let mut barrier = None;
+            while (window.len() as u64) < budget {
+                match self.core.queue.peek_time() {
+                    Some(t) if t < window_end => {
+                        let (at, event) = self.core.queue.pop().expect("peeked event must pop");
+                        if matches!(event, SimEvent::Crash { .. } | SimEvent::Recover { .. }) {
+                            barrier = Some((at, event));
+                            break;
+                        }
+                        window.push((at, event));
+                    }
+                    _ => break,
+                }
+            }
+            if threads == 1 || window.len() < PARALLEL_THRESHOLD {
+                for (at, event) in window.drain(..) {
+                    self.process_event(at, event);
+                }
+            } else {
+                self.process_window(&window, threads, window_end, lookahead);
+                window.clear();
+            }
+            if let Some((at, event)) = barrier {
+                self.process_event(at, event);
+            }
+        }
+    }
+
+    /// Executes one collected window: parallel phase A, serial phase B.
+    fn process_window(
+        &mut self,
+        window: &[(SimTime, SimEvent<P::Msg>)],
+        threads: usize,
+        window_end: SimTime,
+        lookahead: SimDuration,
+    ) {
+        let n = self.nodes.len();
+        let chunk_size = n.div_ceil(threads);
+        let mut outcomes: Vec<Option<Outcome<P::Msg>>> = Vec::with_capacity(window.len());
+        outcomes.resize_with(window.len(), || None);
+        {
+            let alive: &[bool] = &self.core.alive;
+            let (mut rows, mut gens) = self.core.timers.parts_mut();
+            let mut nodes: &mut [P] = &mut self.nodes;
+            let mut holds: &mut [bool] = &mut self.holds_token;
+            let mut in_cs: &mut [bool] = &mut self.core.in_cs;
+            let mut chunks = Vec::with_capacity(threads);
+            let mut start = 0usize;
+            while !nodes.is_empty() {
+                let take = chunk_size.min(nodes.len());
+                let (node_head, node_tail) = nodes.split_at_mut(take);
+                nodes = node_tail;
+                let (holds_head, holds_tail) = holds.split_at_mut(take);
+                holds = holds_tail;
+                let (cs_head, cs_tail) = in_cs.split_at_mut(take);
+                in_cs = cs_tail;
+                let (row_head, row_tail) = rows.split_at_mut(take);
+                rows = row_tail;
+                let (gen_head, gen_tail) = gens.split_at_mut(take);
+                gens = gen_tail;
+                chunks.push(Chunk {
+                    start,
+                    nodes: node_head,
+                    holds_token: holds_head,
+                    in_cs: cs_head,
+                    rows: row_head,
+                    gens: gen_head,
+                });
+                start += take;
+            }
+            let results: Vec<Vec<(usize, Outcome<P::Msg>)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| scope.spawn(move || react(chunk, window, alive)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("window worker panicked"))
+                    .collect()
+            });
+            for list in results {
+                for (pos, outcome) in list {
+                    outcomes[pos] = Some(outcome);
+                }
+            }
+        }
+        // Phase B: commit in canonical order.
+        for (pos, (at, event)) in window.iter().enumerate() {
+            let Outcome { dispatched, holds_delta, actions } =
+                outcomes[pos].take().expect("every window event has an outcome");
+            self.core.now = *at;
+            self.core.metrics.events_processed += 1;
+            match event {
+                SimEvent::Deliver { to, from, msg } => {
+                    if msg.carries_token() {
+                        self.core.tokens_in_flight -= 1;
+                    }
+                    if dispatched {
+                        if self.core.trace.is_enabled() {
+                            self.core.trace.push(
+                                *at,
+                                TraceRecord::Deliver {
+                                    from: *from,
+                                    to: *to,
+                                    kind: msg.kind(),
+                                    desc: format!("{msg:?}"),
+                                },
+                            );
+                        }
+                        self.replay(*to, *at, window_end, lookahead, actions);
+                    } else {
+                        self.core.metrics.lost_to_crashes += 1;
+                    }
+                }
+                SimEvent::Timer { node, .. } => {
+                    if dispatched {
+                        self.replay(*node, *at, window_end, lookahead, actions);
+                    }
+                }
+                SimEvent::RequestCs { node } => {
+                    if dispatched {
+                        self.core.pending_request_times[node.zero_based() as usize].push_back(*at);
+                        self.replay(*node, *at, window_end, lookahead, actions);
+                    } else {
+                        self.core.metrics.requests_abandoned += 1;
+                    }
+                }
+                SimEvent::ExitCs { node } => {
+                    if dispatched {
+                        self.core.oracle.exit_cs(*node);
+                        self.core.trace.push(*at, TraceRecord::ExitCs(*node));
+                        self.replay(*node, *at, window_end, lookahead, actions);
+                    }
+                }
+                SimEvent::Crash { .. } | SimEvent::Recover { .. } => unreachable!(),
+            }
+            self.core.live_holders = self
+                .core
+                .live_holders
+                .checked_add_signed(isize::from(holds_delta))
+                .expect("live-holder census underflow");
+            self.core.oracle.token_census(*at, self.core.live_holders + self.core.tokens_in_flight);
+        }
+    }
+
+    /// Commits one event's recorded actions, in emission order, through the
+    /// same effect paths the serial driver uses.
+    fn replay(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        window_end: SimTime,
+        lookahead: SimDuration,
+        actions: Vec<ReplayAction<P::Msg>>,
+    ) {
+        let idx = node.zero_based() as usize;
+        for action in actions {
+            match action {
+                // The verbatim serial send path: fault draws, delay
+                // samples, and queue sequence numbers in identical order.
+                ReplayAction::Send { to, msg } => self.core.send(node, to, msg),
+                ReplayAction::EnterCs => {
+                    // Mirror of `Core::enter_cs` minus the `in_cs` flag,
+                    // which the window worker already set.
+                    self.core.oracle.enter_cs(now, node);
+                    self.core.metrics.cs_entries += 1;
+                    if let Some(requested_at) = self.core.pending_request_times[idx].pop_front() {
+                        self.core.metrics.total_waiting_ticks += (now - requested_at).ticks();
+                    }
+                    self.core.trace.push(now, TraceRecord::EnterCs(node));
+                    self.core
+                        .queue
+                        .push(now + self.core.config.cs_duration, SimEvent::ExitCs { node });
+                }
+                ReplayAction::SetTimer { id, generation, fire_at } => {
+                    // The conservative-window contract: timeouts must land
+                    // at or beyond the horizon (single-tick windows are
+                    // exempt — same-tick effects order behind the window
+                    // by sequence number).
+                    assert!(
+                        lookahead.ticks() == 1 || fire_at >= window_end,
+                        "protocol timer delay shorter than the conservative window"
+                    );
+                    self.core.queue.push(fire_at, SimEvent::Timer { node, id, generation });
+                }
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use oc_topology::NodeId;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::{
     channel::{CompiledScript, DelayModel, FaultScript, LinkFate, LinkFaults},
@@ -55,6 +56,29 @@ pub struct SimConfig {
     /// [`FaultScript::none`] by default: nothing injected, no extra RNG
     /// draws, so traces of unscripted configurations are byte-identical.
     pub script: FaultScript,
+    /// Which event-loop driver executes the run. [`Driver::Serial`] is the
+    /// reference; [`Driver::Windowed`] processes conservative same-horizon
+    /// event windows with protocol reactions computed on worker threads.
+    /// Both produce byte-identical traces (see `crate::windowed`).
+    pub driver: Driver,
+}
+
+/// Event-loop driver selection for [`SimConfig`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Driver {
+    /// One event at a time on the calling thread — the reference driver.
+    #[default]
+    Serial,
+    /// Conservative window-based parallel driver: batches every event below
+    /// the safe horizon (`min link delay`, floored at one tick), computes
+    /// the per-node protocol reactions on `threads` workers over disjoint
+    /// node ranges, then applies all side effects serially in canonical
+    /// `(time, seq)` order — so traces, metrics, and RNG draws are
+    /// byte-identical to [`Driver::Serial`] at any thread count.
+    Windowed {
+        /// Worker threads for the reaction phase (floored at 1).
+        threads: usize,
+    },
 }
 
 impl Default for SimConfig {
@@ -68,6 +92,7 @@ impl Default for SimConfig {
             queue: QueueBackend::default(),
             faults: LinkFaults::none(),
             script: FaultScript::none(),
+            driver: Driver::Serial,
         }
     }
 }
@@ -90,32 +115,32 @@ pub(crate) enum SimEvent<M> {
 /// mutably while the core executes that node's actions — `Core` is the
 /// simulator's [`ActionSink`].
 #[derive(Debug)]
-struct Core<M> {
-    config: SimConfig,
+pub(crate) struct Core<M> {
+    pub(crate) config: SimConfig,
     /// `config.script` compiled against the system size (dense membership
     /// tables); consulted on every send while a phase is active.
-    compiled: CompiledScript,
+    pub(crate) compiled: CompiledScript,
     /// Dense per-node state, indexed by `NodeId::zero_based`.
-    alive: Vec<bool>,
-    in_cs: Vec<bool>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) in_cs: Vec<bool>,
     /// `true` once a node has processed at least one `Recover` event —
     /// read by the liveness oracle's re-join check.
-    recovered: Vec<bool>,
-    timers: TimerTable,
-    pending_request_times: Vec<VecDeque<SimTime>>,
-    now: SimTime,
-    queue: EventQueue<SimEvent<M>>,
-    rng: StdRng,
-    metrics: Metrics,
-    oracle: Oracle,
-    trace: Trace,
-    requests_injected: u64,
+    pub(crate) recovered: Vec<bool>,
+    pub(crate) timers: TimerTable,
+    pub(crate) pending_request_times: Vec<VecDeque<SimTime>>,
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<SimEvent<M>>,
+    pub(crate) rng: StdRng,
+    pub(crate) metrics: Metrics,
+    pub(crate) oracle: Oracle,
+    pub(crate) trace: Trace,
+    pub(crate) requests_injected: u64,
     /// Tokens currently in flight (Deliver events whose message carries the
     /// token). Maintained incrementally for the census.
-    tokens_in_flight: usize,
+    pub(crate) tokens_in_flight: usize,
     /// Live nodes currently holding the token, maintained incrementally so
     /// the per-event census is O(1) instead of O(n).
-    live_holders: usize,
+    pub(crate) live_holders: usize,
 }
 
 impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
@@ -230,14 +255,14 @@ impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
 /// plan, metrics, the safety oracle, and an optional trace.
 #[derive(Debug)]
 pub struct World<P: Protocol> {
-    nodes: Vec<P>,
+    pub(crate) nodes: Vec<P>,
     /// Cached `alive && holds_token` per node, kept in sync after every
     /// event a node processes; backs the O(1) token census.
-    holds_token: Vec<bool>,
+    pub(crate) holds_token: Vec<bool>,
     /// Reusable action buffer — drained in place each event, so the hot
     /// path allocates nothing.
-    outbox: Outbox<P::Msg>,
-    core: Core<P::Msg>,
+    pub(crate) outbox: Outbox<P::Msg>,
+    pub(crate) core: Core<P::Msg>,
 }
 
 impl<P: Protocol> World<P> {
@@ -373,6 +398,33 @@ impl<P: Protocol> World<P> {
         (isolated, unreachable)
     }
 
+    /// Estimated resident bytes of per-node state, averaged over the
+    /// population: each protocol node (inline size plus its reported
+    /// [`Protocol::heap_bytes`]) and the substrate's node-indexed
+    /// containers (liveness flags, timer rows, pending-request queues).
+    /// Event-queue and trace storage are excluded — they scale with
+    /// in-flight load, not population. Reported in the E7 artifact to
+    /// keep the memory diet honest at n = 2^24.
+    #[must_use]
+    pub fn mem_bytes_per_node(&self) -> u64 {
+        let n = self.nodes.len().max(1) as u64;
+        let nodes = self.nodes.capacity() * std::mem::size_of::<P>()
+            + self.nodes.iter().map(Protocol::heap_bytes).sum::<usize>();
+        let substrate = self.holds_token.capacity()
+            + self.core.alive.capacity()
+            + self.core.in_cs.capacity()
+            + self.core.recovered.capacity()
+            + self.core.timers.heap_bytes()
+            + self.core.pending_request_times.capacity() * std::mem::size_of::<VecDeque<SimTime>>()
+            + self
+                .core
+                .pending_request_times
+                .iter()
+                .map(|q| q.capacity() * std::mem::size_of::<SimTime>())
+                .sum::<usize>();
+        ((nodes + substrate) as u64).div_ceil(n)
+    }
+
     /// Metrics collected so far.
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
@@ -433,15 +485,29 @@ impl<P: Protocol> World<P> {
         self.core.queue.push(at, SimEvent::Recover { node });
     }
 
-    /// Runs until no events remain. Returns `true` if the queue drained,
-    /// `false` if the `max_events` backstop tripped first.
-    pub fn run_to_quiescence(&mut self) -> bool {
+    /// Runs until no events remain using the serial reference driver,
+    /// regardless of `SimConfig::driver`. Returns `true` if the queue
+    /// drained, `false` if the `max_events` backstop tripped first.
+    pub fn run_to_quiescence_serial(&mut self) -> bool {
         while self.core.metrics.events_processed < self.core.config.max_events {
             if !self.step() {
                 return true;
             }
         }
         false
+    }
+
+    /// Runs until no events remain, honouring `SimConfig::driver`.
+    /// Returns `true` if the queue drained, `false` if the `max_events`
+    /// backstop tripped first.
+    pub fn run_to_quiescence(&mut self) -> bool
+    where
+        P: Send,
+    {
+        match self.core.config.driver {
+            Driver::Serial => self.run_to_quiescence_serial(),
+            Driver::Windowed { threads } => self.run_to_quiescence_windowed(threads),
+        }
     }
 
     /// Runs until virtual time would exceed `deadline` (events at exactly
@@ -461,11 +527,26 @@ impl<P: Protocol> World<P> {
         }
     }
 
+    /// Pre-sizes the event queue for sustained load — a pure capacity
+    /// hint (see [`EventQueue::reserve`]) used by benches and the
+    /// allocation audit to establish steady-state capacity up front.
+    pub fn reserve_events(&mut self, per_bucket: usize, heap: usize) {
+        self.core.queue.reserve(per_bucket, heap);
+    }
+
     /// Processes one event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
         let Some((at, event)) = self.core.queue.pop() else {
             return false;
         };
+        self.process_event(at, event);
+        true
+    }
+
+    /// Processes one already-popped event at its timestamp — the single
+    /// serial execution path shared by [`World::step`] and the windowed
+    /// driver's barrier/small-batch fallbacks.
+    pub(crate) fn process_event(&mut self, at: SimTime, event: SimEvent<P::Msg>) {
         debug_assert!(at >= self.core.now, "event queue went backwards");
         self.core.now = at;
         self.core.metrics.events_processed += 1;
@@ -480,7 +561,6 @@ impl<P: Protocol> World<P> {
         self.core
             .oracle
             .token_census(self.core.now, self.core.live_holders + self.core.tokens_in_flight);
-        true
     }
 
     fn handle_deliver(&mut self, to: NodeId, from: NodeId, msg: P::Msg) {

@@ -35,11 +35,14 @@ pub fn dist(i: NodeId, j: NodeId) -> u32 {
 }
 
 /// All nodes at distance exactly `d` from `from` in an `n`-node system,
-/// in increasing identity order.
+/// in increasing identity order, as an allocation-free iterator.
 ///
 /// There are exactly `2^(d-1)` such nodes for `1 ≤ d ≤ log2 n`
 /// (paper, Section 5): the other half of `from`'s d-group. This is the
-/// *ring* probed by phase `d` of the `search_father` procedure.
+/// *ring* probed by phase `d` of the `search_father` procedure. An alias
+/// of [`ring_iter`]: the function used to materialize a `Vec`, which put
+/// one heap allocation per probe phase on the search hot path; collect
+/// explicitly if a materialized ring is wanted.
 ///
 /// # Panics
 ///
@@ -48,12 +51,12 @@ pub fn dist(i: NodeId, j: NodeId) -> u32 {
 /// ```
 /// use oc_topology::{nodes_at_distance, NodeId};
 /// let ring: Vec<u32> = nodes_at_distance(16, NodeId::new(10), 2)
-///     .into_iter().map(NodeId::get).collect();
+///     .map(NodeId::get).collect();
 /// assert_eq!(ring, vec![11, 12]);
 /// ```
 #[must_use]
-pub fn nodes_at_distance(n: usize, from: NodeId, d: u32) -> Vec<NodeId> {
-    ring_iter(n, from, d).collect()
+pub fn nodes_at_distance(n: usize, from: NodeId, d: u32) -> RingIter {
+    ring_iter(n, from, d)
 }
 
 /// Allocation-free iterator over the distance-`d` ring of `from` — the
@@ -193,8 +196,8 @@ mod tests {
             for d in 1..=6 {
                 let ring = nodes_at_distance(n, from, d);
                 assert_eq!(ring.len(), ring_size(d), "ring({from}, {d})");
-                for member in &ring {
-                    assert_eq!(dist(from, *member), d);
+                for member in ring {
+                    assert_eq!(dist(from, member), d);
                 }
             }
         }

@@ -1,13 +1,16 @@
 use core::fmt;
+use core::num::NonZeroU32;
 
 use serde::{Deserialize, Serialize};
 
 /// Identity of a node, numbered `1..=n` as in the paper.
 ///
-/// `NodeId` is a thin newtype over `u32`; the 1-based numbering follows the
-/// paper's figures (node 1 is the root of the canonical cube). The 0-based
-/// value `id.zero_based()` is what all the bit-arithmetic closed forms work
-/// on.
+/// `NodeId` is a thin newtype over [`NonZeroU32`]; the 1-based numbering
+/// follows the paper's figures (node 1 is the root of the canonical cube),
+/// so zero is naturally uninhabited and `Option<NodeId>` is 4 bytes — the
+/// per-node `father`/`mandator` slots and every optional id in a message
+/// payload cost one word of four, not eight. The 0-based value
+/// `id.zero_based()` is what all the bit-arithmetic closed forms work on.
 ///
 /// ```
 /// use oc_topology::NodeId;
@@ -15,9 +18,10 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(id.get(), 9);
 /// assert_eq!(id.zero_based(), 8);
 /// assert_eq!(id.to_string(), "9");
+/// assert_eq!(core::mem::size_of::<Option<NodeId>>(), 4);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct NodeId(u32);
+pub struct NodeId(NonZeroU32);
 
 impl NodeId {
     /// Creates a node identity from its 1-based number.
@@ -27,8 +31,10 @@ impl NodeId {
     /// Panics if `id` is 0 — the paper numbers nodes from 1.
     #[must_use]
     pub const fn new(id: u32) -> Self {
-        assert!(id >= 1, "node identities are numbered from 1");
-        NodeId(id)
+        match NonZeroU32::new(id) {
+            Some(id) => NodeId(id),
+            None => panic!("node identities are numbered from 1"),
+        }
     }
 
     /// Creates a node identity from its 0-based index.
@@ -39,19 +45,19 @@ impl NodeId {
     /// ```
     #[must_use]
     pub fn from_zero_based(index: u32) -> Self {
-        NodeId(index + 1)
+        NodeId::new(index + 1)
     }
 
     /// The 1-based number of this node, as used in the paper's figures.
     #[must_use]
     pub fn get(self) -> u32 {
-        self.0
+        self.0.get()
     }
 
     /// The 0-based index `id - 1`, used by the bit-arithmetic closed forms.
     #[must_use]
     pub fn zero_based(self) -> u32 {
-        self.0 - 1
+        self.0.get() - 1
     }
 
     /// Iterates over all node identities of an `n`-node system: `1..=n`.
@@ -62,7 +68,7 @@ impl NodeId {
     /// assert_eq!(ids, vec![1, 2, 3, 4]);
     /// ```
     pub fn all(n: usize) -> impl Iterator<Item = NodeId> + Clone {
-        (1..=n as u32).map(NodeId)
+        (1..=n as u32).map(NodeId::new)
     }
 }
 
@@ -80,13 +86,13 @@ impl fmt::Display for NodeId {
 
 impl From<NodeId> for u32 {
     fn from(id: NodeId) -> u32 {
-        id.0
+        id.get()
     }
 }
 
 impl From<NodeId> for usize {
     fn from(id: NodeId) -> usize {
-        id.0 as usize
+        id.get() as usize
     }
 }
 

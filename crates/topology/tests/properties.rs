@@ -140,7 +140,7 @@ fn ring_iter_enumerates_every_ring_exactly() {
                     NodeId::all(n).filter(|j| dist(from, *j) == d).collect();
                 let iterated: Vec<NodeId> = ring_iter(n, from, d).collect();
                 assert_eq!(iterated, by_distance, "ring({from}, {d}) in n={n}");
-                assert_eq!(iterated, nodes_at_distance(n, from, d));
+                assert_eq!(iterated, nodes_at_distance(n, from, d).collect::<Vec<_>>());
                 assert_eq!(ring_iter(n, from, d).len(), ring_size(d));
             }
         }

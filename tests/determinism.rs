@@ -32,6 +32,7 @@ fn traced_run(seed: u64, backend: QueueBackend) -> (u64, u64, u64) {
         // the scripted fault program — change nothing when off.
         faults: opencube::sim::LinkFaults::none(),
         script: opencube::sim::FaultScript::none(),
+        driver: opencube::sim::Driver::Serial,
     };
     let cfg = Config::new(32, SimDuration::from_ticks(DELTA), SimDuration::from_ticks(CS))
         .with_contention_slack(SimDuration::from_ticks(2_000));
