@@ -14,7 +14,17 @@
 //!   0x05 test          d:u32
 //!   0x06 answer        kind:u8 d:u32
 //!   0x07 anomaly
+//!   0x08 request@e     claimant:u32 source:u32 source_seq:u64 epoch:u64
+//!   0x09 token@e       has_lender:u8 [lender:u32] epoch:u64
+//!   0x0A mint-request  epoch:u64
+//!   0x0B mint-ack      granted:u8 epoch:u64
 //! ```
+//!
+//! Epoch-0 requests and tokens — the only kind `Hardening::None` ever
+//! produces — keep the original 0x01/0x02 encodings byte for byte; the
+//! epoch-stamped tags appear on the wire only once a hardened mint has
+//! actually advanced an epoch past 0. A baseline deployment's byte stream
+//! is therefore unchanged, and mixed decoding needs no version handshake.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use oc_topology::NodeId;
@@ -51,26 +61,36 @@ const TAG_ENQUIRY_REPLY: u8 = 0x04;
 const TAG_TEST: u8 = 0x05;
 const TAG_ANSWER: u8 = 0x06;
 const TAG_ANOMALY: u8 = 0x07;
+const TAG_REQUEST_E: u8 = 0x08;
+const TAG_TOKEN_E: u8 = 0x09;
+const TAG_MINT_REQUEST: u8 = 0x0A;
+const TAG_MINT_ACK: u8 = 0x0B;
 
 /// Encodes a message to its wire representation.
 #[must_use]
 pub fn encode(msg: &Msg) -> Bytes {
     let mut buf = BytesMut::with_capacity(24);
     match msg {
-        Msg::Request { claimant, source, source_seq } => {
-            buf.put_u8(TAG_REQUEST);
+        Msg::Request { claimant, source, source_seq, epoch } => {
+            buf.put_u8(if *epoch == 0 { TAG_REQUEST } else { TAG_REQUEST_E });
             buf.put_u32_le(claimant.get());
             buf.put_u32_le(source.get());
             buf.put_u64_le(u64::from(*source_seq));
+            if *epoch != 0 {
+                buf.put_u64_le(*epoch);
+            }
         }
-        Msg::Token { lender } => {
-            buf.put_u8(TAG_TOKEN);
+        Msg::Token { lender, epoch } => {
+            buf.put_u8(if *epoch == 0 { TAG_TOKEN } else { TAG_TOKEN_E });
             match lender {
                 Some(j) => {
                     buf.put_u8(1);
                     buf.put_u32_le(j.get());
                 }
                 None => buf.put_u8(0),
+            }
+            if *epoch != 0 {
+                buf.put_u64_le(*epoch);
             }
         }
         Msg::Enquiry { source_seq } => {
@@ -99,6 +119,15 @@ pub fn encode(msg: &Msg) -> Bytes {
             buf.put_u32_le(*d);
         }
         Msg::Anomaly => buf.put_u8(TAG_ANOMALY),
+        Msg::MintRequest { epoch } => {
+            buf.put_u8(TAG_MINT_REQUEST);
+            buf.put_u64_le(*epoch);
+        }
+        Msg::MintAck { epoch, granted } => {
+            buf.put_u8(TAG_MINT_ACK);
+            buf.put_u8(u8::from(*granted));
+            buf.put_u64_le(*epoch);
+        }
     }
     buf.freeze()
 }
@@ -122,18 +151,21 @@ pub fn decode(bytes: &[u8]) -> Result<Msg, DecodeError> {
 fn decode_inner(buf: &mut &[u8]) -> Result<Msg, DecodeError> {
     let tag = take_u8(buf)?;
     match tag {
-        TAG_REQUEST => Ok(Msg::Request {
-            claimant: take_node(buf)?,
-            source: take_node(buf)?,
-            source_seq: take_seq(buf)?,
-        }),
-        TAG_TOKEN => {
+        TAG_REQUEST | TAG_REQUEST_E => {
+            let claimant = take_node(buf)?;
+            let source = take_node(buf)?;
+            let source_seq = take_seq(buf)?;
+            let epoch = if tag == TAG_REQUEST_E { take_epoch(buf)? } else { 0 };
+            Ok(Msg::Request { claimant, source, source_seq, epoch })
+        }
+        TAG_TOKEN | TAG_TOKEN_E => {
             let lender = match take_u8(buf)? {
                 0 => None,
                 1 => Some(take_node(buf)?),
                 _ => return Err(DecodeError::BadField("has_lender")),
             };
-            Ok(Msg::Token { lender })
+            let epoch = if tag == TAG_TOKEN_E { take_epoch(buf)? } else { 0 };
+            Ok(Msg::Token { lender, epoch })
         }
         TAG_ENQUIRY => Ok(Msg::Enquiry { source_seq: take_seq(buf)? }),
         TAG_ENQUIRY_REPLY => {
@@ -156,6 +188,15 @@ fn decode_inner(buf: &mut &[u8]) -> Result<Msg, DecodeError> {
             Ok(Msg::Answer { kind, d: take_u32(buf)? })
         }
         TAG_ANOMALY => Ok(Msg::Anomaly),
+        TAG_MINT_REQUEST => Ok(Msg::MintRequest { epoch: take_epoch(buf)? }),
+        TAG_MINT_ACK => {
+            let granted = match take_u8(buf)? {
+                0 => false,
+                1 => true,
+                _ => return Err(DecodeError::BadField("granted")),
+            };
+            Ok(Msg::MintAck { epoch: take_u64(buf)?, granted })
+        }
         other => Err(DecodeError::BadTag(other)),
     }
 }
@@ -187,6 +228,17 @@ fn take_seq(buf: &mut &[u8]) -> Result<u32, DecodeError> {
     u32::try_from(take_u64(buf)?).map_err(|_| DecodeError::BadField("source_seq"))
 }
 
+/// Epochs on the epoch-stamped tags are nonzero by construction — epoch 0
+/// always encodes with the legacy tags — so every message keeps exactly
+/// one canonical encoding (the round-trip property tests rely on it).
+fn take_epoch(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    let epoch = take_u64(buf)?;
+    if epoch == 0 {
+        return Err(DecodeError::BadField("epoch 0"));
+    }
+    Ok(epoch)
+}
+
 fn take_node(buf: &mut &[u8]) -> Result<NodeId, DecodeError> {
     let raw = take_u32(buf)?;
     if raw == 0 {
@@ -211,9 +263,21 @@ mod tests {
             claimant: NodeId::new(7),
             source: NodeId::new(12),
             source_seq: u32::MAX,
+            epoch: 0,
         });
-        round_trip(Msg::Token { lender: None });
-        round_trip(Msg::Token { lender: Some(NodeId::new(1)) });
+        round_trip(Msg::Request {
+            claimant: NodeId::new(7),
+            source: NodeId::new(12),
+            source_seq: 3,
+            epoch: u64::MAX,
+        });
+        round_trip(Msg::Token { lender: None, epoch: 0 });
+        round_trip(Msg::Token { lender: Some(NodeId::new(1)), epoch: 0 });
+        round_trip(Msg::Token { lender: None, epoch: 9 });
+        round_trip(Msg::Token { lender: Some(NodeId::new(1)), epoch: 1 });
+        round_trip(Msg::MintRequest { epoch: 1 });
+        round_trip(Msg::MintAck { epoch: 4, granted: true });
+        round_trip(Msg::MintAck { epoch: 0, granted: false });
         round_trip(Msg::Enquiry { source_seq: 0 });
         round_trip(Msg::EnquiryReply { source_seq: 3, status: EnquiryStatus::StillInCs });
         round_trip(Msg::EnquiryReply { source_seq: 4, status: EnquiryStatus::TokenReturned });
@@ -227,13 +291,14 @@ mod tests {
     #[test]
     fn encodings_are_compact() {
         assert_eq!(encode(&Msg::Anomaly).len(), 1);
-        assert_eq!(encode(&Msg::Token { lender: None }).len(), 2);
-        assert_eq!(encode(&Msg::Token { lender: Some(NodeId::new(5)) }).len(), 6);
+        assert_eq!(encode(&Msg::Token { lender: None, epoch: 0 }).len(), 2);
+        assert_eq!(encode(&Msg::Token { lender: Some(NodeId::new(5)), epoch: 0 }).len(), 6);
         assert_eq!(
             encode(&Msg::Request {
                 claimant: NodeId::new(1),
                 source: NodeId::new(1),
-                source_seq: 0
+                source_seq: 0,
+                epoch: 0,
             })
             .len(),
             17
@@ -241,15 +306,66 @@ mod tests {
     }
 
     #[test]
-    fn truncation_is_detected() {
-        let bytes = encode(&Msg::Request {
-            claimant: NodeId::new(3),
+    fn epoch_zero_keeps_the_legacy_encoding() {
+        // The exact pre-hardening byte streams: a `Hardening::None`
+        // deployment is wire-compatible with peers that predate epochs.
+        let token = encode(&Msg::Token { lender: None, epoch: 0 });
+        assert_eq!(&token[..], &[0x02, 0x00]);
+        let token = encode(&Msg::Token { lender: Some(NodeId::new(5)), epoch: 0 });
+        assert_eq!(&token[..], &[0x02, 0x01, 0x05, 0x00, 0x00, 0x00]);
+        let request = encode(&Msg::Request {
+            claimant: NodeId::new(2),
             source: NodeId::new(3),
-            source_seq: 9,
+            source_seq: 4,
+            epoch: 0,
         });
-        for cut in 0..bytes.len() {
-            assert_eq!(decode(&bytes[..cut]).unwrap_err(), DecodeError::Truncated, "cut={cut}");
+        assert_eq!(request[0], 0x01);
+        assert_eq!(request.len(), 17);
+        // Epoch > 0 switches to the stamped tags and appends the epoch.
+        let stamped = encode(&Msg::Token { lender: None, epoch: 1 });
+        assert_eq!(stamped[0], TAG_TOKEN_E);
+        assert_eq!(stamped.len(), 2 + 8);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let msgs = [
+            Msg::Request {
+                claimant: NodeId::new(3),
+                source: NodeId::new(3),
+                source_seq: 9,
+                epoch: 0,
+            },
+            Msg::Request {
+                claimant: NodeId::new(3),
+                source: NodeId::new(3),
+                source_seq: 9,
+                epoch: 2,
+            },
+            Msg::Token { lender: Some(NodeId::new(4)), epoch: 6 },
+            Msg::MintRequest { epoch: 5 },
+            Msg::MintAck { epoch: 5, granted: true },
+        ];
+        for msg in msgs {
+            let bytes = encode(&msg);
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    decode(&bytes[..cut]).unwrap_err(),
+                    DecodeError::Truncated,
+                    "{msg:?} cut={cut}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn stamped_tags_reject_epoch_zero() {
+        // Epoch 0 must travel on the legacy tags; a stamped frame claiming
+        // epoch 0 has no canonical meaning and is rejected.
+        let mut bytes = encode(&Msg::Token { lender: None, epoch: 7 }).to_vec();
+        let len = bytes.len();
+        bytes[len - 8..].fill(0);
+        assert_eq!(decode(&bytes).unwrap_err(), DecodeError::BadField("epoch 0"));
     }
 
     #[test]

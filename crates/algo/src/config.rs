@@ -30,6 +30,41 @@ pub enum Mutation {
     KeepTokenOnTransit,
 }
 
+/// Protocol hardening level: how far beyond the paper's reliable-channel
+/// model the node defends itself.
+///
+/// The paper's Section 5 machinery regenerates the token from *local*
+/// deductions (timeouts, enquiry replies). Outside the paper's model —
+/// network partitions that later heal — those deductions are honestly
+/// wrong: both sides of a cut can conclude "the token is lost" and mint,
+/// and the healed system carries two live tokens (the double-mints pinned
+/// in oc-check's partition tests). [`Hardening::Quorum`] closes that hole
+/// with Chubby-style fencing epochs plus majority-gated regeneration; see
+/// the `mint` module. [`Hardening::None`] is byte-for-byte the paper
+/// protocol — every hardened branch is gated on this knob, all epochs stay
+/// 0, and traces are bit-identical to a build without the feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Hardening {
+    /// The paper protocol, unchanged (the default).
+    #[default]
+    None,
+    /// Fencing epochs on token-bearing messages plus quorum-gated
+    /// regeneration: before minting, a node must collect grants from a
+    /// strict majority of all `n` nodes, so a minority partition can never
+    /// mint — safety over availability, exactly where CAP forces the
+    /// choice.
+    Quorum,
+}
+
+impl Hardening {
+    /// `true` for [`Hardening::None`] (serde `skip_serializing_if` helper,
+    /// so configurations embedded in committed artifacts do not change).
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        *self == Hardening::None
+    }
+}
+
 /// Configuration shared by all nodes of one open-cube system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Config {
@@ -61,6 +96,11 @@ pub struct Config {
     /// (see [`Mutation`]). Always [`Mutation::None`] outside explorer
     /// self-checks.
     pub mutation: Mutation,
+    /// Protocol hardening level (see [`Hardening`]). Defaults to
+    /// [`Hardening::None`] — the paper protocol — both in builders and
+    /// when deserializing configurations written before the field existed.
+    #[serde(default, skip_serializing_if = "Hardening::is_none")]
+    pub hardening: Hardening,
 }
 
 impl Config {
@@ -81,6 +121,7 @@ impl Config {
             contention_slack: SimDuration::ZERO,
             timeout_margin: SimDuration::from_ticks(1),
             mutation: Mutation::None,
+            hardening: Hardening::None,
         }
     }
 
@@ -103,6 +144,21 @@ impl Config {
     pub fn with_mutation(mut self, mutation: Mutation) -> Self {
         self.mutation = mutation;
         self
+    }
+
+    /// Selects the protocol hardening level (builder style). See
+    /// [`Hardening`].
+    #[must_use]
+    pub fn with_hardening(mut self, hardening: Hardening) -> Self {
+        self.hardening = hardening;
+        self
+    }
+
+    /// `true` when the Quorum hardening is active — the gate every
+    /// epoch/mint branch checks.
+    #[must_use]
+    pub fn hardened(&self) -> bool {
+        self.hardening == Hardening::Quorum
     }
 
     /// `pmax = log2 n`, the dimension of the cube.
@@ -167,6 +223,37 @@ impl Config {
         let budget = (self.token_wait_timeout() * 3 + self.loan_timeout_via_proxies()).ticks();
         let round = self.search_phase_timeout().ticks().max(1);
         u32::try_from(budget / round).unwrap_or(u32::MAX).max(4)
+    }
+
+    /// The strict-majority quorum size for hardened regeneration: more
+    /// than half of *all* `n` nodes (alive or not). Two sets of this size
+    /// over `n` nodes always intersect — the pigeonhole fact the
+    /// at-most-one-mint-per-epoch invariant rests on.
+    #[must_use]
+    pub fn mint_quorum(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// How long one mint ballot waits for its grants: a `2δ` round trip to
+    /// the farthest acker, like the enquiry and search-phase timers.
+    #[must_use]
+    pub fn mint_timeout(&self) -> SimDuration {
+        self.delta * 2 + self.timeout_margin
+    }
+
+    /// Ballot retries within one mint attempt before the minter parks
+    /// (concludes it is on the minority side of a cut, for now).
+    #[must_use]
+    pub fn mint_attempts(&self) -> u32 {
+        3
+    }
+
+    /// The parked minter's backoff before it retries from scratch: a
+    /// couple of full suspicion windows, so a healed cut is retried
+    /// promptly but a standing minority does not spam ballots.
+    #[must_use]
+    pub fn mint_backoff(&self) -> SimDuration {
+        self.token_wait_timeout() * 2
     }
 }
 

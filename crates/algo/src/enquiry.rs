@@ -18,6 +18,7 @@ use oc_topology::NodeId;
 
 use crate::{
     message::{EnquiryStatus, Msg},
+    mint::MintPurpose,
     node::{OpenCubeNode, TIMER_ENQUIRY, TIMER_ROOT_LOAN},
 };
 
@@ -98,7 +99,10 @@ impl OpenCubeNode {
     }
 
     /// Regenerates the token as the (still) root lender and resumes
-    /// serving the queue.
+    /// serving the queue. Under [`crate::Hardening::Quorum`] the
+    /// regeneration is not local: the loan stays open (keeping the node
+    /// busy) while a mint ballot runs, and resolves only once a strict
+    /// majority grants it (see `crate::mint`).
     fn regenerate_as_lender(&mut self, out: &mut Outbox<Msg>) {
         if self.config_inner().mutation == crate::config::Mutation::SkipTokenRegeneration {
             // Planted bug (oracle self-test): the loss is concluded but
@@ -106,6 +110,11 @@ impl OpenCubeNode {
             // open, so the lender is wedged forever — the liveness oracle
             // must see a stuck node and starved requests.
             self.cancel_loan_timers(out);
+            return;
+        }
+        if self.config_inner().hardened() {
+            self.cancel_loan_timers(out);
+            self.begin_mint(MintPurpose::Lender, out);
             return;
         }
         self.loan = None;
@@ -143,11 +152,16 @@ mod tests {
         let actions = deliver(
             &mut root,
             2,
-            Msg::Request { claimant: NodeId::new(2), source: NodeId::new(2), source_seq: 7 },
+            Msg::Request {
+                claimant: NodeId::new(2),
+                source: NodeId::new(2),
+                source_seq: 7,
+                epoch: 0,
+            },
         );
         assert!(actions
             .iter()
-            .any(|a| matches!(a, Action::Send { msg: Msg::Token { lender: Some(_) }, .. })));
+            .any(|a| matches!(a, Action::Send { msg: Msg::Token { lender: Some(_), .. }, .. })));
         assert!(root.loan.is_some());
         root
     }
@@ -257,7 +271,12 @@ mod tests {
         let _ = deliver(
             &mut root,
             2,
-            Msg::Request { claimant: NodeId::new(2), source: NodeId::new(2), source_seq: 7 },
+            Msg::Request {
+                claimant: NodeId::new(2),
+                source: NodeId::new(2),
+                source_seq: 7,
+                epoch: 0,
+            },
         );
         let _ = drain(&mut root, NodeEvent::Timer(TIMER_ROOT_LOAN));
         let _ = drain(&mut root, NodeEvent::Timer(TIMER_ENQUIRY));
@@ -282,7 +301,7 @@ mod tests {
     #[test]
     fn return_clears_loan_so_timers_go_stale() {
         let mut root = lending_root();
-        let _ = deliver(&mut root, 2, Msg::Token { lender: None });
+        let _ = deliver(&mut root, 2, Msg::Token { lender: None, epoch: 0 });
         assert!(root.holds_token());
         assert!(root.loan.is_none());
         // Stale timers are no-ops.
@@ -304,7 +323,7 @@ mod tests {
             actions[..],
             [Action::Send { msg: Msg::EnquiryReply { status: EnquiryStatus::TokenLost, .. }, .. }]
         ));
-        let _ = deliver(&mut source, 1, Msg::Token { lender: Some(NodeId::new(1)) });
+        let _ = deliver(&mut source, 1, Msg::Token { lender: Some(NodeId::new(1)), epoch: 0 });
         let actions = deliver(&mut source, 1, Msg::Enquiry { source_seq: 1 });
         assert!(matches!(
             actions[..],

@@ -51,12 +51,13 @@ pub mod codec;
 mod config;
 mod enquiry;
 mod message;
+mod mint;
 mod node;
 mod ringset;
 mod search;
 mod stats;
 
-pub use config::{Config, Mutation};
+pub use config::{Config, Hardening, Mutation};
 pub use message::{AnswerKind, EnquiryStatus, Msg};
 pub use node::OpenCubeNode;
 pub use ringset::{RingSet, RingSetIter};

@@ -14,6 +14,7 @@ pub(crate) const TIMER_TOKEN_WAIT: u64 = 1;
 pub(crate) const TIMER_ROOT_LOAN: u64 = 2;
 pub(crate) const TIMER_ENQUIRY: u64 = 3;
 pub(crate) const TIMER_SEARCH_PHASE: u64 = 4;
+pub(crate) const TIMER_MINT: u64 = 5;
 
 /// A unit of pending work in the node's waiting queue (the paper's
 /// fair-service queue guarded by `wait (not asking)`).
@@ -104,6 +105,20 @@ pub struct OpenCubeNode {
     /// tolerance disabled): it ignores all input.
     inert: bool,
 
+    // ---- hardened-mode state (Hardening::Quorum; see crate::mint) ----
+    /// Highest minted token epoch this node has witnessed — on a token it
+    /// received or a request that gossiped it. Stable storage: fencing
+    /// must survive crashes. Always 0 under `Hardening::None`.
+    pub(crate) epoch_seen: u64,
+    /// Highest mint ballot this node has granted (a Paxos-style promise).
+    /// Stable storage — promise amnesia across a crash would let two
+    /// quorums form for one epoch. Invariant: `epoch_promised >=
+    /// epoch_seen`.
+    pub(crate) epoch_promised: u64,
+    /// In-progress mint ballot. Boxed: minting is rare and idle nodes pay
+    /// one pointer.
+    pub(crate) mint: Option<Box<crate::mint::MintState>>,
+
     stats: NodeStats,
 }
 
@@ -143,6 +158,9 @@ impl OpenCubeNode {
             search: None,
             search_spare: None,
             inert: false,
+            epoch_seen: 0,
+            epoch_promised: 0,
+            mint: None,
             stats: NodeStats::default(),
         }
     }
@@ -236,7 +254,11 @@ impl OpenCubeNode {
     /// terms keep the node from serving queued work in the degraded states
     /// reachable when timing assumptions are violated.
     pub(crate) fn busy(&self) -> bool {
-        self.asking || self.in_cs || self.loan.is_some() || self.search.is_some()
+        self.asking
+            || self.in_cs
+            || self.loan.is_some()
+            || self.search.is_some()
+            || self.mint.is_some()
     }
 
     pub(crate) fn stats_mut(&mut self) -> &mut NodeStats {
@@ -292,7 +314,7 @@ impl OpenCubeNode {
     }
 
     fn id_request(&self, seq: u32) -> Msg {
-        Msg::Request { claimant: self.id, source: self.id, source_seq: seq }
+        Msg::Request { claimant: self.id, source: self.id, source_seq: seq, epoch: self.epoch_seen }
     }
 
     // ---- remote request path ----
@@ -326,10 +348,13 @@ impl OpenCubeNode {
                 if self.cfg.mutation != crate::config::Mutation::KeepTokenOnTransit {
                     self.token_here = false;
                 }
-                out.send(claimant, Msg::Token { lender: None });
+                out.send(claimant, Msg::Token { lender: None, epoch: self.epoch_seen });
             } else {
                 let father = self.father.expect("a transit node without the token has a father");
-                out.send(father, Msg::Request { claimant, source, source_seq });
+                out.send(
+                    father,
+                    Msg::Request { claimant, source, source_seq, epoch: self.epoch_seen },
+                );
             }
             // First half of the b-transformation.
             self.father = Some(claimant);
@@ -340,13 +365,16 @@ impl OpenCubeNode {
             if self.token_here {
                 // Temporarily lend the token.
                 self.token_here = false;
-                out.send(claimant, Msg::Token { lender: Some(self.id) });
+                out.send(claimant, Msg::Token { lender: Some(self.id), epoch: self.epoch_seen });
                 self.start_loan(claimant, source, source_seq, out);
             } else {
                 self.mandator = Some(claimant);
                 self.current_claim = Some((source, source_seq));
                 let father = self.father.expect("a proxy node without the token has a father");
-                out.send(father, Msg::Request { claimant: self.id, source, source_seq });
+                out.send(
+                    father,
+                    Msg::Request { claimant: self.id, source, source_seq, epoch: self.epoch_seen },
+                );
                 self.arm_token_wait(out);
             }
         }
@@ -369,9 +397,46 @@ impl OpenCubeNode {
 
     // ---- token path ----
 
-    fn on_token(&mut self, from: NodeId, lender: Option<NodeId>, out: &mut Outbox<Msg>) {
+    /// Applies epoch evidence gossiped on a request or stamped on a token
+    /// (`Hardening::Quorum` fencing): a strictly higher epoch proves a
+    /// newer token was minted, so any token held here is stale and gets
+    /// voided in place — even mid-CS (`exit_cs` already guards the lender
+    /// return on `token_here`). No-op under `Hardening::None`, where every
+    /// epoch is 0.
+    pub(crate) fn witness_epoch(&mut self, epoch: u64) {
+        if epoch > self.epoch_seen {
+            self.epoch_seen = epoch;
+            if self.epoch_promised < epoch {
+                self.epoch_promised = epoch;
+            }
+            if self.token_here {
+                self.token_here = false;
+                self.stats.epoch_discards += 1;
+            }
+        }
+    }
+
+    fn on_token(
+        &mut self,
+        from: NodeId,
+        lender: Option<NodeId>,
+        epoch: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        // A token ahead of us updates our horizon (voiding any stale token
+        // we still held); a token *behind* us is itself stale — fenced out
+        // by a mint we already witnessed — and is discarded on receipt.
+        // Whoever is waiting on it recovers through the ordinary suspicion
+        // machinery (token-wait timer, search), which ends at the
+        // current-epoch token or a quorum-gated mint.
+        self.witness_epoch(epoch);
+        if epoch < self.epoch_seen {
+            self.stats.epoch_discards += 1;
+            return;
+        }
         self.cancel_token_wait(out);
         self.abort_search_for_token(out);
+        self.abort_mint_for_token(out);
         self.token_here = true;
         match self.mandator {
             None => self.on_token_without_mandate(lender, out),
@@ -404,7 +469,7 @@ impl OpenCubeNode {
                         // lend it to our mandator.
                         self.father = None;
                         self.token_here = false;
-                        out.send(m, Msg::Token { lender: Some(self.id) });
+                        out.send(m, Msg::Token { lender: Some(self.id), epoch: self.epoch_seen });
                         let (source, seq) =
                             self.current_claim.take().expect("a mandate has claim bookkeeping");
                         self.mandator = None;
@@ -415,7 +480,7 @@ impl OpenCubeNode {
                         // Pass the loaned token along to the mandator.
                         self.father = Some(from);
                         self.token_here = false;
-                        out.send(m, Msg::Token { lender: Some(j) });
+                        out.send(m, Msg::Token { lender: Some(j), epoch: self.epoch_seen });
                         self.mandator = None;
                         self.current_claim = None;
                         self.asking = false;
@@ -440,7 +505,7 @@ impl OpenCubeNode {
             // Unsolicited loaned token (regeneration race): hand it back so
             // the lender's accounting settles.
             self.token_here = false;
-            out.send(j, Msg::Token { lender: None });
+            out.send(j, Msg::Token { lender: None, epoch: self.epoch_seen });
         } else {
             // Unsolicited ownership transfer (regeneration race): accept it
             // — we are now the root.
@@ -460,7 +525,7 @@ impl OpenCubeNode {
         // while we sat in the critical section.
         if self.lender != self.id && self.token_here {
             self.token_here = false;
-            out.send(self.lender, Msg::Token { lender: None });
+            out.send(self.lender, Msg::Token { lender: None, epoch: self.epoch_seen });
         }
         self.asking = false;
         self.process_queue(out);
@@ -554,7 +619,7 @@ impl OpenCubeNode {
             }
             Some(m) => {
                 self.token_here = false;
-                out.send(m, Msg::Token { lender: Some(self.id) });
+                out.send(m, Msg::Token { lender: Some(self.id), epoch: self.epoch_seen });
                 let (source, seq) =
                     self.current_claim.take().expect("a mandate has claim bookkeeping");
                 self.mandator = None;
@@ -657,7 +722,10 @@ impl Protocol for OpenCubeNode {
                 }
             }
             NodeEvent::Deliver { from, msg } => match msg {
-                Msg::Request { claimant, source, source_seq } => {
+                Msg::Request { claimant, source, source_seq, epoch } => {
+                    // Epoch gossip is applied even to requests we ignore
+                    // or queue: fencing must not wait behind the queue.
+                    self.witness_epoch(epoch);
                     if claimant == self.id {
                         // A stale echo of our own regenerated claim.
                         return;
@@ -668,7 +736,7 @@ impl Protocol for OpenCubeNode {
                         self.process_request(claimant, source, source_seq, out);
                     }
                 }
-                Msg::Token { lender } => self.on_token(from, lender, out),
+                Msg::Token { lender, epoch } => self.on_token(from, lender, epoch, out),
                 Msg::Enquiry { source_seq } => self.on_enquiry(from, source_seq, out),
                 Msg::EnquiryReply { source_seq, status } => {
                     self.on_enquiry_reply(source_seq, status, out);
@@ -676,11 +744,14 @@ impl Protocol for OpenCubeNode {
                 Msg::Test { d } => self.on_test(from, d, out),
                 Msg::Answer { kind, d } => self.on_answer(from, kind, d, out),
                 Msg::Anomaly => self.on_anomaly(from, out),
+                Msg::MintRequest { epoch } => self.on_mint_request(from, epoch, out),
+                Msg::MintAck { epoch, granted } => self.on_mint_ack(from, epoch, granted, out),
             },
             NodeEvent::Timer(TIMER_TOKEN_WAIT) => self.on_token_wait_timeout(out),
             NodeEvent::Timer(TIMER_ROOT_LOAN) => self.on_loan_timeout(out),
             NodeEvent::Timer(TIMER_ENQUIRY) => self.on_enquiry_timeout(out),
             NodeEvent::Timer(TIMER_SEARCH_PHASE) => self.on_search_phase_timeout(out),
+            NodeEvent::Timer(TIMER_MINT) => self.on_mint_timer(out),
             NodeEvent::Timer(_) => {}
         }
     }
@@ -699,6 +770,12 @@ impl Protocol for OpenCubeNode {
         self.queue.clear();
         self.loan = None;
         self.search = None;
+        // The running ballot is volatile; the epoch counters are NOT —
+        // like pmax and dist they live on stable storage. Forgetting a
+        // promise across a crash would let two quorums form for one epoch,
+        // and forgetting the witnessed horizon would resurrect fenced
+        // tokens.
+        self.mint = None;
     }
 
     fn on_recover(&mut self, out: &mut Outbox<Msg>) {
@@ -728,6 +805,7 @@ impl Protocol for OpenCubeNode {
             && self.search.is_none()
             && self.mandator.is_none()
             && self.loan.is_none()
+            && self.mint.is_none()
     }
 
     fn heap_bytes(&self) -> usize {
@@ -739,6 +817,29 @@ impl Protocol for OpenCubeNode {
         self.queue.capacity() * std::mem::size_of::<Work>()
             + search_bytes(&self.search)
             + search_bytes(&self.search_spare)
+            + self.mint.as_deref().map_or(0, crate::mint::MintState::heap_bytes)
+    }
+
+    fn token_epoch(&self) -> u64 {
+        // Invariant: while `token_here`, the held token's epoch equals
+        // `epoch_seen` — a higher-epoch token updates `epoch_seen` on
+        // receipt, a lower-epoch one is discarded before being held, and
+        // higher gossip voids the held token in the same step it advances
+        // `epoch_seen`.
+        self.epoch_seen
+    }
+
+    fn quorum_blocked(&self) -> bool {
+        // A minter whose first ballot already timed out, or one parked in
+        // backoff, is (for now) unable to assemble a quorum. A first
+        // ballot still within its 2δ window is deliberately NOT counted:
+        // excusing it would also excuse a wedged ballot that never
+        // retries.
+        self.mint.as_deref().is_some_and(|m| m.parked || m.attempts > 1)
+    }
+
+    fn epoch_discards(&self) -> u64 {
+        self.stats.epoch_discards
     }
 }
 
@@ -830,12 +931,17 @@ mod tests {
         let actions = deliver(
             &mut root,
             2,
-            Msg::Request { claimant: NodeId::new(2), source: NodeId::new(2), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(2),
+                source: NodeId::new(2),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         let s = sends(&actions);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].0, NodeId::new(2));
-        assert_eq!(s[0].1, Msg::Token { lender: Some(NodeId::new(1)) });
+        assert_eq!(s[0].1, Msg::Token { lender: Some(NodeId::new(1)), epoch: 0 });
         assert!(!root.holds_token());
         assert!(root.is_asking(), "a lending root is busy until the token returns");
         // The tree did not change: proxy behavior.
@@ -850,10 +956,15 @@ mod tests {
         let actions = deliver(
             &mut root,
             3,
-            Msg::Request { claimant: NodeId::new(3), source: NodeId::new(3), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(3),
+                source: NodeId::new(3),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         let s = sends(&actions);
-        assert_eq!(s, vec![(NodeId::new(3), Msg::Token { lender: None })]);
+        assert_eq!(s, vec![(NodeId::new(3), Msg::Token { lender: None, epoch: 0 })]);
         assert!(!root.holds_token());
         assert!(!root.is_asking(), "transit nodes do not become busy");
         assert_eq!(root.father(), Some(NodeId::new(3)));
@@ -868,7 +979,12 @@ mod tests {
         let actions = deliver(
             &mut node5,
             7,
-            Msg::Request { claimant: NodeId::new(8), source: NodeId::new(8), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(8),
+                source: NodeId::new(8),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         let s = sends(&actions);
         assert_eq!(s.len(), 1);
@@ -886,7 +1002,12 @@ mod tests {
         let actions = deliver(
             &mut node9,
             10,
-            Msg::Request { claimant: NodeId::new(10), source: NodeId::new(10), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(10),
+                source: NodeId::new(10),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         let s = sends(&actions);
         assert_eq!(s.len(), 1);
@@ -907,14 +1028,24 @@ mod tests {
         let _ = deliver(
             &mut node9,
             10,
-            Msg::Request { claimant: NodeId::new(10), source: NodeId::new(10), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(10),
+                source: NodeId::new(10),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         assert!(node9.is_asking());
         // A second request is queued, not processed.
         let actions = deliver(
             &mut node9,
             1,
-            Msg::Request { claimant: NodeId::new(8), source: NodeId::new(8), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(8),
+                source: NodeId::new(8),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         assert!(sends(&actions).is_empty());
         assert_eq!(node9.queue.len(), 1);
@@ -926,13 +1057,23 @@ mod tests {
         let _ = deliver(
             &mut node9,
             10,
-            Msg::Request { claimant: NodeId::new(10), source: NodeId::new(10), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(10),
+                source: NodeId::new(10),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         for _ in 0..3 {
             let _ = deliver(
                 &mut node9,
                 1,
-                Msg::Request { claimant: NodeId::new(8), source: NodeId::new(8), source_seq: 1 },
+                Msg::Request {
+                    claimant: NodeId::new(8),
+                    source: NodeId::new(8),
+                    source_seq: 1,
+                    epoch: 0,
+                },
             );
         }
         assert_eq!(node9.queue.len(), 1, "duplicates of the same claimant collapse");
@@ -940,7 +1081,12 @@ mod tests {
         let _ = deliver(
             &mut node9,
             11,
-            Msg::Request { claimant: NodeId::new(10), source: NodeId::new(10), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(10),
+                source: NodeId::new(10),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         assert_eq!(node9.queue.len(), 1);
     }
@@ -953,11 +1099,19 @@ mod tests {
         let _ = deliver(
             &mut node9,
             10,
-            Msg::Request { claimant: NodeId::new(10), source: NodeId::new(10), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(10),
+                source: NodeId::new(10),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
-        let actions = deliver(&mut node9, 1, Msg::Token { lender: None });
+        let actions = deliver(&mut node9, 1, Msg::Token { lender: None, epoch: 0 });
         let s = sends(&actions);
-        assert_eq!(s, vec![(NodeId::new(10), Msg::Token { lender: Some(NodeId::new(9)) })]);
+        assert_eq!(
+            s,
+            vec![(NodeId::new(10), Msg::Token { lender: Some(NodeId::new(9)), epoch: 0 })]
+        );
         assert!(node9.believes_root());
         assert!(node9.is_asking(), "the lender stays busy until the token returns");
         assert!(node9.mandator().is_none());
@@ -968,14 +1122,15 @@ mod tests {
     fn borrower_enters_and_returns_token() {
         let mut node10 = OpenCubeNode::new(NodeId::new(10), cfg(16));
         let _ = request_cs(&mut node10); // sends request to 9
-        let actions = deliver(&mut node10, 9, Msg::Token { lender: Some(NodeId::new(9)) });
+        let actions =
+            deliver(&mut node10, 9, Msg::Token { lender: Some(NodeId::new(9)), epoch: 0 });
         assert!(actions.iter().any(|a| matches!(a, Action::EnterCs)));
         assert!(node10.in_cs());
         assert_eq!(node10.father(), Some(NodeId::new(9)), "token sender becomes father");
         // On exit the token goes back to the lender.
         let actions = exit_cs(&mut node10);
         let s = sends(&actions);
-        assert_eq!(s, vec![(NodeId::new(9), Msg::Token { lender: None })]);
+        assert_eq!(s, vec![(NodeId::new(9), Msg::Token { lender: None, epoch: 0 })]);
         assert!(!node10.holds_token());
         assert!(!node10.is_asking());
     }
@@ -986,21 +1141,31 @@ mod tests {
         let _ = deliver(
             &mut node9,
             10,
-            Msg::Request { claimant: NodeId::new(10), source: NodeId::new(10), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(10),
+                source: NodeId::new(10),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
-        let _ = deliver(&mut node9, 1, Msg::Token { lender: None }); // lends to 10
+        let _ = deliver(&mut node9, 1, Msg::Token { lender: None, epoch: 0 }); // lends to 10
 
         // Queue request(8) while busy (paper §3.2: request(8) is queued at 9).
         let _ = deliver(
             &mut node9,
             1,
-            Msg::Request { claimant: NodeId::new(8), source: NodeId::new(8), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(8),
+                source: NodeId::new(8),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         // Token returns; node 9 serves the queued request(8): dist(9,8)=4 =
         // power(9)=pmax -> transit: token(nil) to 8.
-        let actions = deliver(&mut node9, 10, Msg::Token { lender: None });
+        let actions = deliver(&mut node9, 10, Msg::Token { lender: None, epoch: 0 });
         let s = sends(&actions);
-        assert_eq!(s, vec![(NodeId::new(8), Msg::Token { lender: None })]);
+        assert_eq!(s, vec![(NodeId::new(8), Msg::Token { lender: None, epoch: 0 })]);
         assert_eq!(node9.father(), Some(NodeId::new(8)));
         assert!(!node9.is_asking());
     }
@@ -1011,7 +1176,12 @@ mod tests {
         let actions = deliver(
             &mut node,
             1,
-            Msg::Request { claimant: NodeId::new(3), source: NodeId::new(3), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(3),
+                source: NodeId::new(3),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         assert!(actions.is_empty());
     }
@@ -1026,7 +1196,12 @@ mod tests {
         let actions = deliver(
             &mut node3,
             1,
-            Msg::Request { claimant: NodeId::new(1), source: NodeId::new(1), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(1),
+                source: NodeId::new(1),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         let s = sends(&actions);
         assert_eq!(s, vec![(NodeId::new(1), Msg::Anomaly)]);
@@ -1038,7 +1213,12 @@ mod tests {
         let _ = deliver(
             &mut node9,
             10,
-            Msg::Request { claimant: NodeId::new(10), source: NodeId::new(10), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(10),
+                source: NodeId::new(10),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         let actions = request_cs(&mut node9);
         assert!(actions.is_empty());
@@ -1073,9 +1253,9 @@ mod tests {
     #[test]
     fn unsolicited_loaned_token_is_returned() {
         let mut node = OpenCubeNode::new(NodeId::new(2), cfg(4));
-        let actions = deliver(&mut node, 1, Msg::Token { lender: Some(NodeId::new(1)) });
+        let actions = deliver(&mut node, 1, Msg::Token { lender: Some(NodeId::new(1)), epoch: 0 });
         let s = sends(&actions);
-        assert_eq!(s, vec![(NodeId::new(1), Msg::Token { lender: None })]);
+        assert_eq!(s, vec![(NodeId::new(1), Msg::Token { lender: None, epoch: 0 })]);
         assert!(!node.holds_token());
     }
 
@@ -1091,10 +1271,15 @@ mod tests {
         let actions = deliver(
             &mut root,
             3,
-            Msg::Request { claimant: NodeId::new(3), source: NodeId::new(3), source_seq: 1 },
+            Msg::Request {
+                claimant: NodeId::new(3),
+                source: NodeId::new(3),
+                source_seq: 1,
+                epoch: 0,
+            },
         );
         let s = sends(&actions);
-        assert_eq!(s, vec![(NodeId::new(3), Msg::Token { lender: None })]);
+        assert_eq!(s, vec![(NodeId::new(3), Msg::Token { lender: None, epoch: 0 })]);
         assert!(root.holds_token(), "mutation: the token was sent AND kept");
     }
 

@@ -17,6 +17,7 @@ use oc_topology::{ring_iter, NodeId};
 
 use crate::{
     message::{AnswerKind, Msg},
+    mint::MintPurpose,
     node::{OpenCubeNode, TIMER_SEARCH_PHASE, TIMER_TOKEN_WAIT},
     ringset::RingSet,
 };
@@ -183,7 +184,8 @@ impl OpenCubeNode {
                 self.current_claim_inner().expect("a mandate has claim bookkeeping");
             let claimant = self.id_inner();
             self.stats_mut().requests_regenerated += 1;
-            out.send(k, Msg::Request { claimant, source, source_seq: seq });
+            let epoch = self.epoch_seen;
+            out.send(k, Msg::Request { claimant, source, source_seq: seq, epoch });
             self.arm_token_wait(out);
         } else {
             // Recovery / anomaly reattachment with no pending claim.
@@ -192,14 +194,23 @@ impl OpenCubeNode {
     }
 
     /// Concludes the search with this node as root, regenerating the token
-    /// if it is not already here, then honoring any pending claim.
+    /// if it is not already here, then honoring any pending claim. Under
+    /// [`crate::Hardening::Quorum`] the regeneration is not local: the
+    /// node opens a mint ballot and the claim is honored only once a
+    /// strict majority grants it (see `crate::mint`).
     fn conclude_search_as_root(&mut self, out: &mut Outbox<Msg>) {
         out.cancel_timer(TIMER_SEARCH_PHASE);
         out.cancel_timer(TIMER_TOKEN_WAIT);
         self.set_father(None);
-        if !self.token_here_inner() {
-            self.regenerate_token_here();
+        if self.token_here_inner() {
+            self.honor_claim_as_root(out);
+            return;
         }
+        if self.config_inner().hardened() {
+            self.begin_mint(MintPurpose::Root, out);
+            return;
+        }
+        self.regenerate_token_here();
         self.honor_claim_as_root(out);
     }
 
@@ -287,6 +298,14 @@ impl OpenCubeNode {
             } else {
                 out.send(from, Msg::Answer { kind: AnswerKind::TryLater, d });
             }
+            return;
+        }
+        if self.mint.is_some() {
+            // Mid-mint we believe we are the root (father = nil, so our
+            // power reads pmax) but have not earned the position yet.
+            // Promising fatherhood now could absorb the searcher into a
+            // minority that can never mint; keep it patient instead.
+            out.send(from, Msg::Answer { kind: AnswerKind::TryLater, d });
             return;
         }
         let p = self.power();
@@ -608,7 +627,7 @@ mod tests {
     #[test]
     fn token_arrival_aborts_search() {
         let mut node = searching_node_10();
-        let actions = deliver(&mut node, 9, Msg::Token { lender: Some(NodeId::new(9)) });
+        let actions = deliver(&mut node, 9, Msg::Token { lender: Some(NodeId::new(9)), epoch: 0 });
         assert!(node.search.is_none());
         assert!(node.in_cs());
         assert!(actions.iter().any(|a| matches!(a, Action::EnterCs)));

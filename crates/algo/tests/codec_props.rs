@@ -10,12 +10,27 @@ fn arb_node() -> impl Strategy<Value = NodeId> {
     (1u32..=1024).prop_map(NodeId::new)
 }
 
+/// Mint epochs: skewed toward 0 (the entire baseline protocol) with the
+/// stamped-tag range and the saturation ceiling represented.
+fn arb_epoch() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), 1u64..=16, Just(u64::MAX)]
+}
+
 fn arb_msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
-        (arb_node(), arb_node(), any::<u32>()).prop_map(|(claimant, source, source_seq)| {
-            Msg::Request { claimant, source, source_seq }
-        }),
-        proptest::option::of(arb_node()).prop_map(|lender| Msg::Token { lender }),
+        (arb_node(), arb_node(), any::<u32>(), arb_epoch()).prop_map(
+            |(claimant, source, source_seq, epoch)| Msg::Request {
+                claimant,
+                source,
+                source_seq,
+                epoch
+            }
+        ),
+        (proptest::option::of(arb_node()), arb_epoch())
+            .prop_map(|(lender, epoch)| Msg::Token { lender, epoch }),
+        (1u64..=32).prop_map(|epoch| Msg::MintRequest { epoch }),
+        (any::<u64>(), proptest::bool::ANY)
+            .prop_map(|(epoch, granted)| Msg::MintAck { epoch, granted }),
         any::<u32>().prop_map(|source_seq| Msg::Enquiry { source_seq }),
         (any::<u32>(), 0u8..3).prop_map(|(source_seq, s)| Msg::EnquiryReply {
             source_seq,

@@ -1,0 +1,140 @@
+//! Property tests for quorum-gated regeneration: the promise rule must
+//! make same-epoch double-mints impossible, whatever the interleaving.
+//!
+//! The hardened protocol's safety argument is quorum intersection — a
+//! mint needs `n/2 + 1` grants, each node grants an epoch at most once,
+//! and any two majorities over `n` nodes share a member. These
+//! properties drive two concurrent minters' ballots through the real
+//! `MintRequest` promise logic of every node under arbitrary per-node
+//! arrival orders (and optional crash/recovery between the two
+//! arrivals, which must not amnesty a promise: promises are stable
+//! storage) and assert the quorums can never coexist.
+
+use oc_algo::{Config, Hardening, Msg, OpenCubeNode};
+use oc_sim::{Action, NodeEvent, Outbox, Protocol, SimDuration};
+use oc_topology::NodeId;
+use proptest::prelude::*;
+
+fn hardened_nodes(n: usize) -> Vec<OpenCubeNode> {
+    let cfg = Config::new(n, SimDuration::from_ticks(10), SimDuration::from_ticks(50))
+        .with_hardening(Hardening::Quorum);
+    OpenCubeNode::build_all(cfg)
+}
+
+/// Delivers `msg` to `node` as if sent by `from` and returns every
+/// message the node sent in response.
+fn deliver(node: &mut OpenCubeNode, from: NodeId, msg: Msg) -> Vec<(NodeId, Msg)> {
+    let mut out = Outbox::new();
+    node.on_event(NodeEvent::Deliver { from, msg }, &mut out);
+    out.drain()
+        .into_iter()
+        .filter_map(|action| match action {
+            Action::Send { to, msg } => Some((to, msg)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A system size, two distinct minter identities, a shared ballot epoch,
+/// and per-node schedules: which minter's request arrives first, and
+/// whether the node crashes and recovers between the two arrivals.
+fn two_minters() -> impl Strategy<Value = (usize, u32, u32, u64, Vec<(bool, bool)>)> {
+    (1u32..=5).prop_map(|k| 1usize << k).prop_flat_map(|n| {
+        (
+            Just(n),
+            1u32..=n as u32,
+            1u32..n as u32,
+            1u64..=8,
+            proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), n..(n + 1)),
+        )
+            .prop_map(|(n, a, offset, epoch, schedules)| {
+                // The second minter is `a` rotated by a nonzero offset:
+                // distinct by construction.
+                let b = (a - 1 + offset) % n as u32 + 1;
+                (n, a, b, epoch, schedules)
+            })
+    })
+}
+
+proptest! {
+    /// Two concurrent minters balloting the *same* epoch can never both
+    /// assemble a strict majority of grants: each node's single-use
+    /// promise keeps the two ack sets disjoint, and two disjoint
+    /// majorities over `n` nodes would need more than `n` members.
+    #[test]
+    fn same_epoch_quorums_cannot_coexist((n, a, b, epoch, schedules) in two_minters()) {
+        let mut nodes = hardened_nodes(n);
+        let a_id = NodeId::new(a);
+        let b_id = NodeId::new(b);
+        let quorum = n / 2 + 1;
+        let mut grants_a = 0usize;
+        let mut grants_b = 0usize;
+        for (node, (a_first, crash_between)) in nodes.iter_mut().zip(schedules) {
+            let (first, second) = if a_first { (a_id, b_id) } else { (b_id, a_id) };
+            let first_acks = deliver(node, first, Msg::MintRequest { epoch });
+            if crash_between {
+                // Promises are stable storage: a crash between the two
+                // arrivals must not let the node grant the epoch twice.
+                node.on_crash();
+                let mut out = Outbox::new();
+                node.on_recover(&mut out);
+            }
+            let second_acks = deliver(node, second, Msg::MintRequest { epoch });
+            let mut granted_here = 0usize;
+            for (to, msg) in first_acks.into_iter().chain(second_acks) {
+                if let Msg::MintAck { granted: true, .. } = msg {
+                    granted_here += 1;
+                    if to == a_id {
+                        grants_a += 1;
+                    } else if to == b_id {
+                        grants_b += 1;
+                    }
+                }
+            }
+            prop_assert!(
+                granted_here <= 1,
+                "node {} granted epoch {epoch} to both minters",
+                node.id().get()
+            );
+        }
+        prop_assert!(
+            grants_a + grants_b <= n,
+            "disjoint ack sets cannot exceed the node count: {grants_a} + {grants_b} > {n}"
+        );
+        prop_assert!(
+            !(grants_a >= quorum && grants_b >= quorum),
+            "two same-epoch quorums coexist at n={n}: {grants_a} and {grants_b} vs quorum {quorum}"
+        );
+    }
+
+    /// Whoever wins the first-arrival race at a majority of nodes is the
+    /// only possible winner — and with a fixed arrival order the tally is
+    /// deterministic: replaying the same schedule yields the same grants.
+    #[test]
+    fn grant_tallies_replay_deterministically(
+        (n, a, b, epoch, schedules) in two_minters()
+    ) {
+        let tally = |schedules: &[(bool, bool)]| {
+            let mut nodes = hardened_nodes(n);
+            let mut grants = (0usize, 0usize);
+            for (node, (a_first, _)) in nodes.iter_mut().zip(schedules) {
+                let (first, second) =
+                    if *a_first { (NodeId::new(a), NodeId::new(b)) } else { (NodeId::new(b), NodeId::new(a)) };
+                for (to, msg) in deliver(node, first, Msg::MintRequest { epoch })
+                    .into_iter()
+                    .chain(deliver(node, second, Msg::MintRequest { epoch }))
+                {
+                    if let Msg::MintAck { granted: true, .. } = msg {
+                        if to == NodeId::new(a) {
+                            grants.0 += 1;
+                        } else if to == NodeId::new(b) {
+                            grants.1 += 1;
+                        }
+                    }
+                }
+            }
+            grants
+        };
+        prop_assert_eq!(tally(&schedules), tally(&schedules));
+    }
+}

@@ -32,6 +32,10 @@ With no selection flags, everything runs.
 Selection:
   --figures     canonical open-cube drawings (Figures 2a-2d)
   --e1 .. --e7  one experiment's table
+  --e11         hardened-mode (quorum) overhead: every E1-E7 quick row
+                runs twice, baseline vs Hardening::Quorum; crash-free
+                tables must be byte-identical (exit 1 otherwise) and the
+                failure tables report mint traffic per failure
 
 Execution:
   --quick       small sizes (CI-friendly)
@@ -57,7 +61,7 @@ struct Options {
     selected: Vec<&'static str>,
 }
 
-const SELECTABLE: [&str; 8] = ["figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7"];
+const SELECTABLE: [&str; 9] = ["figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e11"];
 
 fn parse_options(args: &[String]) -> Options {
     let mut options = Options {
@@ -123,6 +127,7 @@ fn main() {
             "e5" => e5(&options),
             "e6" => e6(&options),
             "e7" => e7(&options),
+            "e11" => e11(&options),
             _ => unreachable!("parse_options only admits SELECTABLE names"),
         }
     }
@@ -433,4 +438,193 @@ fn e7(options: &Options) {
     }
     let rows = outcome.results.iter().map(E7Row::to_json).collect();
     finish(options, "e7", &outcome, rows, Vec::new());
+}
+
+/// Runs one sweep twice — baseline, then `Hardening::Quorum` — and
+/// restores the baseline selector afterwards.
+fn ab<T>(run: impl Fn() -> SweepOutcome<T>) -> (SweepOutcome<T>, SweepOutcome<T>) {
+    oc_bench::set_hardened(false);
+    let base = run();
+    oc_bench::set_hardened(true);
+    let hard = run();
+    oc_bench::set_hardened(false);
+    (base, hard)
+}
+
+/// Prints and records one crash-free A/B verdict; returns `true` when the
+/// hardened rows are identical to the baseline.
+fn report_identical<T: std::fmt::Debug>(
+    name: &'static str,
+    base: &[T],
+    hard: &[T],
+    rows: &mut Vec<json::Value>,
+) -> bool {
+    let identical = format!("{base:?}") == format!("{hard:?}");
+    println!(
+        "{name:>4}: {:>3} cells — {}",
+        base.len(),
+        if identical {
+            "hardened rows identical (0 extra messages)"
+        } else {
+            "HARDENED ROWS DIFFER"
+        },
+    );
+    if !identical {
+        for (b, h) in base.iter().zip(hard) {
+            let (b, h) = (format!("{b:?}"), format!("{h:?}"));
+            if b != h {
+                println!("      base {b}\n      hard {h}");
+            }
+        }
+    }
+    rows.push(json::Value::Obj(vec![
+        ("experiment", json::Value::str(name)),
+        ("cells", json::Value::UInt(base.len() as u64)),
+        ("crash_free", json::Value::Bool(true)),
+        ("identical", json::Value::Bool(identical)),
+    ]));
+    identical
+}
+
+fn e11(options: &Options) {
+    println!("== E11: quorum-hardening overhead, baseline vs Hardening::Quorum (quick rows) ==\n");
+    let seed = options.master_seed;
+    let threads = options.threads;
+    let mut rows: Vec<json::Value> = Vec::new();
+    let mut crash_free_ok = true;
+
+    // Crash-free tables. Epoch-0 messages keep the legacy wire encoding
+    // and mint traffic exists only on the regeneration path, so without
+    // failures the hardened tables must not move by a single message —
+    // identical rows IS the measured overhead of zero.
+    println!("-- crash-free tables (must be byte-identical) --");
+    {
+        let (b, h) = ab(|| e1_sweep(&[4, 16, 64], 3, seed, threads));
+        crash_free_ok &= report_identical("e1", &b.results, &h.results, &mut rows);
+    }
+    {
+        let (b, h) = ab(|| e2_sweep(&[4, 16, 64], seed, threads));
+        crash_free_ok &= report_identical("e2", &b.results, &h.results, &mut rows);
+    }
+    {
+        let (b, h) = ab(|| e5_sweep(&[16, 64], seed, threads));
+        crash_free_ok &= report_identical("e5", &b.results, &h.results, &mut rows);
+    }
+    {
+        let (b, h) = ab(|| e6_sweep(&[16], seed, threads));
+        crash_free_ok &= report_identical("e6", &b.results, &h.results, &mut rows);
+    }
+    {
+        // E7's wall-clock columns are not protocol observables; compare
+        // the virtual-time ones.
+        let cells = e7_cells(&[(4_096, 8_192, 2)], seed);
+        let (b, h) = ab(|| e7_sweep(&cells, 1));
+        let project = |rows: &[E7Row]| -> Vec<(usize, String, u64, u64, u64, u64)> {
+            rows.iter()
+                .map(|r| {
+                    (
+                        r.n,
+                        format!("{:?}/{:?}", r.backend, r.driver),
+                        r.requests,
+                        r.events,
+                        r.messages,
+                        r.mem_bytes_per_node,
+                    )
+                })
+                .collect()
+        };
+        crash_free_ok &=
+            report_identical("e7", &project(&b.results), &project(&h.results), &mut rows);
+    }
+
+    // Failure tables: regeneration now runs a mint ballot, so the mint
+    // traffic shows up as measured overhead per failure.
+    println!("\n-- failure tables (mint traffic is the measured overhead) --");
+    println!(
+        "{:>4} {:>6} {:>9} {:>15} {:>15} {:>12}",
+        "exp", "N", "failures", "base ovhd/fail", "hard ovhd/fail", "extra/fail"
+    );
+    {
+        let plan: &[(usize, usize)] = &[(32, 30), (64, 20)];
+        let cells = e3_cells(plan, 5);
+        let (b, h) = ab(|| e3_sweep(&cells, seed, threads));
+        for (base, hard) in b.results.iter().zip(&h.results) {
+            assert_eq!((base.n, base.failures), (hard.n, hard.failures));
+            println!(
+                "{:>4} {:>6} {:>9} {:>15.2} {:>15.2} {:>12.2}",
+                "e3",
+                base.n,
+                base.failures,
+                base.overhead_per_failure,
+                hard.overhead_per_failure,
+                hard.overhead_per_failure - base.overhead_per_failure,
+            );
+            rows.push(json::Value::Obj(vec![
+                ("experiment", json::Value::str("e3")),
+                ("n", json::Value::UInt(base.n as u64)),
+                ("failures", json::Value::UInt(base.failures)),
+                ("crash_free", json::Value::Bool(false)),
+                ("base_overhead_per_failure", json::Value::Num(base.overhead_per_failure)),
+                ("hardened_overhead_per_failure", json::Value::Num(hard.overhead_per_failure)),
+                ("base_extra_per_failure", json::Value::Num(base.extra_per_failure)),
+                ("hardened_extra_per_failure", json::Value::Num(hard.extra_per_failure)),
+                ("served", json::Value::UInt(hard.served)),
+            ]));
+        }
+    }
+    {
+        let (b, h) = ab(|| e4_sweep(&[16, 64], seed, threads));
+        for (base, hard) in b.results.iter().zip(&h.results) {
+            assert_eq!((base.n, base.victim_power), (hard.n, hard.victim_power));
+            println!(
+                "{:>4} {:>6} {:>9} {:>15} {:>15} {:>12}",
+                "e4",
+                base.n,
+                format!("p={}", base.victim_power),
+                format!("{} probes", base.measured_probes),
+                format!("{} probes", hard.measured_probes),
+                format!("regen {}={}", base.regenerated, hard.regenerated),
+            );
+            rows.push(json::Value::Obj(vec![
+                ("experiment", json::Value::str("e4")),
+                ("n", json::Value::UInt(base.n as u64)),
+                ("victim_power", json::Value::UInt(u64::from(base.victim_power))),
+                ("crash_free", json::Value::Bool(false)),
+                ("base_probes", json::Value::UInt(base.measured_probes)),
+                ("hardened_probes", json::Value::UInt(hard.measured_probes)),
+                ("base_regenerated", json::Value::UInt(base.regenerated)),
+                ("hardened_regenerated", json::Value::UInt(hard.regenerated)),
+            ]));
+        }
+    }
+
+    println!(
+        "\ncrash-free hardened overhead: {}",
+        if crash_free_ok { "0 extra messages (all tables identical)" } else { "NONZERO" }
+    );
+    if options.json {
+        let doc = json::Value::Obj(vec![
+            ("schema_version", json::Value::UInt(1)),
+            ("experiment", json::Value::str("e11")),
+            ("master_seed", json::Value::UInt(seed)),
+            ("quick", json::Value::Bool(true)),
+            ("crash_free_identical", json::Value::Bool(crash_free_ok)),
+            ("rows", json::Value::Arr(rows)),
+        ]);
+        match doc.write_file(std::path::Path::new("BENCH_E11.json")) {
+            Ok(()) => println!("   wrote BENCH_E11.json"),
+            Err(err) => {
+                eprintln!("error: could not write BENCH_E11.json: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!();
+    if !crash_free_ok {
+        eprintln!(
+            "error: Hardening::Quorum changed a crash-free table — the hardening must be \
+             observationally free until a regeneration happens"
+        );
+        std::process::exit(1);
+    }
 }

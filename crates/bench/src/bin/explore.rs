@@ -24,8 +24,9 @@
 //! violations there are expected findings, not regressions (see
 //! DESIGN.md, "Fault model soundness").
 
+use oc_algo::Hardening;
 use oc_bench::{cli::FlagParser, json, sweep};
-use oc_check::{repro_snippet, run_scenario, shrink, Scenario, Space};
+use oc_check::{repro_snippet, run_scenario, run_scenario_hardened, shrink, Scenario, Space};
 
 const USAGE: &str = "\
 Usage: explore [FLAGS]
@@ -49,6 +50,13 @@ safety and liveness oracle suite, sharded across worker threads.
   --hard        also sample overlapping crash waves (outside the paper's
                 repeated-single-failure model: violations become expected
                 findings and do not fail the exit code)
+  --hardened    re-run the same battery under Hardening::Quorum (fencing
+                epochs + quorum-gated regeneration) and report it as a
+                second summary (and a \"hardened\" JSON section). The
+                hardened pass is a gate: any safety violation under
+                quorum exits 1 — quorum regeneration must close the
+                healed-partition double-mint. The baseline battery and
+                its artifact section are unchanged
   --json        write BENCH_CHECK.json
   --out PATH    write the --json artifact to PATH instead (implies
                 --json; the partition battery commits BENCH_PART.json,
@@ -63,6 +71,7 @@ struct Options {
     loss: bool,
     hard: bool,
     partitions: bool,
+    hardened: bool,
     json: bool,
     out: Option<String>,
 }
@@ -75,6 +84,7 @@ fn parse_options(args: &[String]) -> Options {
         loss: false,
         hard: false,
         partitions: false,
+        hardened: false,
         json: false,
         out: None,
     };
@@ -117,6 +127,7 @@ fn parse_options(args: &[String]) -> Options {
             "--loss" => options.loss = true,
             "--hard" => options.hard = true,
             "--partitions" => options.partitions = true,
+            "--hardened" => options.hardened = true,
             "--json" => options.json = true,
             _ => parser.usage_error(&format!("unknown flag: {:?}", flag.raw)),
         }
@@ -136,6 +147,7 @@ struct Cell {
     fingerprint: u64,
     clean: bool,
     violations: u64,
+    safety_violations: u64,
     events: u64,
     messages: u64,
     cs_entries: u64,
@@ -144,6 +156,32 @@ struct Cell {
     lost_to_faults: u64,
     lost_to_partition: u64,
     duplicated: u64,
+    epoch_discards: u64,
+    mint_requests: u64,
+    mint_acks: u64,
+}
+
+impl Cell {
+    fn from_outcome(n: usize, run: &oc_check::Outcome) -> Cell {
+        Cell {
+            n,
+            fingerprint: run.fingerprint(),
+            clean: run.is_clean(),
+            violations: run.violation_count() as u64,
+            safety_violations: run.safety.violations().len() as u64,
+            events: run.events,
+            messages: run.messages,
+            cs_entries: run.cs_entries,
+            crashes: run.crashes,
+            recoveries: run.recoveries,
+            lost_to_faults: run.lost_to_faults,
+            lost_to_partition: run.lost_to_partition,
+            duplicated: run.duplicated,
+            epoch_discards: run.epoch_discards,
+            mint_requests: run.mint_requests,
+            mint_acks: run.mint_acks,
+        }
+    }
 }
 
 /// Per-size aggregate — the compact `rows` of `BENCH_CHECK.json`.
@@ -183,20 +221,7 @@ fn main() {
     let outcome = sweep::sweep(&indices, options.threads, |_, &index| {
         let scenario = Scenario::generate(&space, options.master_seed, index);
         let run = run_scenario(&scenario, oc_algo::Mutation::None);
-        Cell {
-            n: scenario.n,
-            fingerprint: run.fingerprint(),
-            clean: run.is_clean(),
-            violations: run.violation_count() as u64,
-            events: run.events,
-            messages: run.messages,
-            cs_entries: run.cs_entries,
-            crashes: run.crashes,
-            recoveries: run.recoveries,
-            lost_to_faults: run.lost_to_faults,
-            lost_to_partition: run.lost_to_partition,
-            duplicated: run.duplicated,
-        }
+        Cell::from_outcome(scenario.n, &run)
     });
 
     // Aggregate in cell order: byte-identical at any thread count.
@@ -287,6 +312,66 @@ fn main() {
         outcome.speedup(),
     );
 
+    // The hardened pass: the very same scenarios, replayed under
+    // Hardening::Quorum. The fencing epoch retires stale tokens at the
+    // heal and regeneration is quorum-gated, so the healed-partition
+    // double-mint cannot happen — zero safety violations is a *gate*
+    // here, not an expected finding. Aggregated in cell order like the
+    // baseline, so the hardened summary line is also byte-identical at
+    // any `--threads`.
+    let hardened = options.hardened.then(|| {
+        let sweep_outcome = sweep::sweep(&indices, options.threads, |_, &index| {
+            let scenario = Scenario::generate(&space, options.master_seed, index);
+            let run = run_scenario_hardened(&scenario, oc_algo::Mutation::None, Hardening::Quorum);
+            Cell::from_outcome(scenario.n, &run)
+        });
+        let mut fold = oc_sim::Fnv64::new();
+        let mut agg = SizeAgg::default();
+        let mut safety_violations = 0u64;
+        let mut epoch_discards = 0u64;
+        let mut mint_requests = 0u64;
+        let mut mint_acks = 0u64;
+        let mut failing: Vec<u64> = Vec::new();
+        for (index, cell) in sweep_outcome.results.iter().enumerate() {
+            fold.write_u64(cell.fingerprint);
+            agg.scenarios += 1;
+            agg.events += cell.events;
+            agg.messages += cell.messages;
+            agg.cs_entries += cell.cs_entries;
+            agg.violations += cell.violations;
+            safety_violations += cell.safety_violations;
+            epoch_discards += cell.epoch_discards;
+            mint_requests += cell.mint_requests;
+            mint_acks += cell.mint_acks;
+            if !cell.clean {
+                failing.push(index as u64);
+            }
+        }
+        let fingerprint = fold.finish();
+        println!(
+            "\nhardened summary budget={} seed={} scenarios={} failures={} violations={} \
+             safety_violations={} epoch_discards={} mint_requests={} mint_acks={} events={} \
+             messages={} cs={} fingerprint={fingerprint:#018x}",
+            options.budget,
+            options.master_seed,
+            agg.scenarios,
+            failing.len(),
+            agg.violations,
+            safety_violations,
+            epoch_discards,
+            mint_requests,
+            mint_acks,
+            agg.events,
+            agg.messages,
+            agg.cs_entries,
+        );
+        for &index in failing.iter().take(8) {
+            let scenario = Scenario::generate(&space, options.master_seed, index);
+            println!("   hardened failure #{index}: {}", scenario.id());
+        }
+        (agg, safety_violations, epoch_discards, mint_requests, mint_acks, fingerprint)
+    });
+
     // Shrink the first failure (lowest index) to a minimal, replayable
     // counterexample before reporting.
     let shrunk = failures.first().map(|&index| {
@@ -344,7 +429,7 @@ fn main() {
                 ])
             })
             .collect();
-        let extra = vec![
+        let mut extra = vec![
             ("budget", json::Value::UInt(options.budget)),
             ("loss", json::Value::Bool(options.loss)),
             ("hard", json::Value::Bool(options.hard)),
@@ -354,6 +439,26 @@ fn main() {
             ("fingerprint", json::Value::str(format!("{fingerprint:#018x}"))),
             ("shrunk_failures", json::Value::Arr(failure_values)),
         ];
+        // The hardened section is appended after every baseline key, so
+        // a diff of the artifact against a pre-hardening run shows the
+        // baseline battery byte-identical.
+        if let Some((agg, safety, discards, mint_req, mint_ack, hardened_fp)) = &hardened {
+            extra.push((
+                "hardened",
+                json::Value::Obj(vec![
+                    ("scenarios", json::Value::UInt(agg.scenarios)),
+                    ("events", json::Value::UInt(agg.events)),
+                    ("messages", json::Value::UInt(agg.messages)),
+                    ("cs_entries", json::Value::UInt(agg.cs_entries)),
+                    ("violations", json::Value::UInt(agg.violations)),
+                    ("safety_violations", json::Value::UInt(*safety)),
+                    ("epoch_discards", json::Value::UInt(*discards)),
+                    ("mint_requests", json::Value::UInt(*mint_req)),
+                    ("mint_acks", json::Value::UInt(*mint_ack)),
+                    ("fingerprint", json::Value::str(format!("{hardened_fp:#018x}"))),
+                ]),
+            ));
+        }
         let doc =
             oc_bench::bench_artifact("check", options.master_seed, false, &outcome, rows, extra);
         let path = options.out.as_deref().unwrap_or("BENCH_CHECK.json");
@@ -363,6 +468,16 @@ fn main() {
                 eprintln!("error: could not write {path}: {err}");
                 std::process::exit(1);
             }
+        }
+    }
+
+    if let Some((_, safety_violations, ..)) = &hardened {
+        if *safety_violations > 0 {
+            eprintln!(
+                "error: {safety_violations} safety violation(s) under Hardening::Quorum — \
+                 quorum regeneration must close the double-mint window"
+            );
+            std::process::exit(1);
         }
     }
 

@@ -22,7 +22,7 @@ pub mod json;
 pub mod loadgen;
 pub mod sweep;
 
-use oc_algo::{Config, OpenCubeNode};
+use oc_algo::{Config, Hardening, OpenCubeNode};
 use oc_baselines::{CentralNode, NaimiTrehelNode, RaymondNode};
 use oc_sim::{
     ArrivalSchedule, DelayModel, Driver, Protocol, QueueBackend, SimConfig, SimDuration, SimTime,
@@ -56,17 +56,44 @@ fn sim_config(seed: u64) -> SimConfig {
     }
 }
 
+/// Process-global hardening selector for the open-cube experiment
+/// configs — the A/B switch of the hardened-overhead harness (E11).
+///
+/// Every `eN_*` experiment builds its open-cube nodes through
+/// [`plain_cfg`]/[`ft_cfg`], so flipping this single atomic re-runs any
+/// table under [`Hardening::Quorum`] without threading a parameter
+/// through two dozen sweep signatures. It defaults to off, and nothing
+/// in the library mutates it: the committed `BENCH_E*.json` artifacts
+/// are untouched unless a caller opts in. Set it *before* a sweep
+/// starts — worker threads read it at cell-config construction.
+static HARDENED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Selects the hardening every subsequent experiment config uses.
+pub fn set_hardened(on: bool) {
+    HARDENED.store(on, std::sync::atomic::Ordering::SeqCst);
+}
+
+fn hardening() -> Hardening {
+    if HARDENED.load(std::sync::atomic::Ordering::SeqCst) {
+        Hardening::Quorum
+    } else {
+        Hardening::None
+    }
+}
+
 fn plain_cfg(n: usize) -> Config {
     Config::without_fault_tolerance(
         n,
         SimDuration::from_ticks(DELTA),
         SimDuration::from_ticks(CS_TICKS),
     )
+    .with_hardening(hardening())
 }
 
 fn ft_cfg(n: usize, slack: u64) -> Config {
     Config::new(n, SimDuration::from_ticks(DELTA), SimDuration::from_ticks(CS_TICKS))
         .with_contention_slack(SimDuration::from_ticks(slack))
+        .with_hardening(hardening())
 }
 
 // --------------------------------------------------------------------

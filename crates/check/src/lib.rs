@@ -47,12 +47,54 @@ mod scenario;
 mod shrink;
 mod threaded;
 
-pub use run::{run_scenario, run_scenario_with, Outcome};
+pub use run::{run_scenario, run_scenario_hardened, run_scenario_with, Outcome};
 pub use scenario::{Scenario, ScenarioCrash, ScenarioPhase, ScenarioPhaseKind, Space};
 pub use shrink::{shrink, ShrinkResult};
 pub use threaded::{run_scenario_runtime, RuntimeProfile};
 
 use oc_algo::Mutation;
+
+/// The shrunk healed-partition findings of the seed-42 partition battery
+/// (`explore --partitions --budget 5000 --seed 42`), one `(name, oc1-id)`
+/// per failing index. Every one is a safety violation (token duplication
+/// or mutual exclusion) born at or after a partition heal — the
+/// double-mint window: the isolated side's suspicion machinery concludes
+/// the silent nodes dead and regenerates, and the heal delivers two
+/// tokens into one cube.
+///
+/// These IDs are the shared contract of three suites: the partition
+/// regression pins assert they **keep failing** under
+/// [`oc_algo::Hardening::None`] (the oracles must keep seeing the
+/// double-mint), the hardened fixed list asserts they **replay clean**
+/// under [`oc_algo::Hardening::Quorum`] (quorum-gated regeneration closes
+/// the window), and CI replays both directions on every push.
+pub const HEALED_PARTITION_PINS: &[(&str, &str)] = &[
+    // index 1021: n=16, 2 arrivals, 0 crashes — a cut alone suffices.
+    (
+        "partition-1021",
+        "oc1-10d2dc91beb99ff1a7fe01090d37cc3f90a10f0000000002df0a0d960b0c0002af0882280003bfbf01e7c7010001",
+    ),
+    // index 1032: n=2, 1 arrival, 1 crash, one split cut.
+    ("partition-1032", "oc1-02ebfcdeb99ae3a9cc1b02111d6190a10f000000000100010102000102010023010102"),
+    // index 1610: n=2, 1 arrival, 1 crash, one group cut.
+    ("partition-1610", "oc1-02a8d3e2fc9da3adcb790405243890a10f0000000001000201020101020100110000"),
+    // index 1656: n=4, 1 arrival, 1 crash, one group cut.
+    (
+        "partition-1656",
+        "oc1-04d3cbbb97fdfff4f3581215287c90a10f000000000100030101cc0501cd0501820693060000",
+    ),
+    // index 2648: n=8, 1 arrival, 1 crash, one group cut.
+    ("partition-2648", "oc1-0894d0f5eaefe3a4bdd2010210337390a10f0000000001000301030101030102360000"),
+    // index 2910: n=8, 1 arrival, 1 crash, one split cut.
+    (
+        "partition-2910",
+        "oc1-08ccd089f4c19ed8a77f0507223e90a10f000000000100050101dc0201dd0201f902960301020104",
+    ),
+    // index 3037: n=2, 1 arrival, 1 crash, one group cut.
+    ("partition-3037", "oc1-0285f5e0aea6e8cbc5460b192f930190a10f0000000001000201020001020100040000"),
+    // index 4960: n=4, 1 arrival, 1 crash, one split cut.
+    ("partition-4960", "oc1-04bef693d489c8fd90c001181842a20190a10f00000000010004010201010201024a010101"),
+];
 
 /// Derives the i-th scenario seed from a master seed: a splitmix64
 /// finalizer over the golden-ratio-scrambled index, the same construction

@@ -1,6 +1,6 @@
 //! Playing one scenario through the deterministic engine and judging it.
 
-use oc_algo::{Config, Mutation, OpenCubeNode};
+use oc_algo::{Config, Hardening, Mutation, OpenCubeNode};
 use oc_sim::{
     check_liveness, DelayModel, LinkFaults, LivenessReport, OracleReport, Protocol, SimConfig,
     SimDuration, SimTime, World,
@@ -37,6 +37,13 @@ pub struct Outcome {
     pub lost_to_partition: u64,
     /// Extra deliveries injected by the duplication fault.
     pub duplicated: u64,
+    /// Stale tokens retired by the fencing epoch (hardened mode only;
+    /// always zero under [`Hardening::None`]).
+    pub epoch_discards: u64,
+    /// Mint ballots sent (hardened mode only).
+    pub mint_requests: u64,
+    /// Mint grant/refusal replies sent (hardened mode only).
+    pub mint_acks: u64,
     /// The safety oracle's report (mutual exclusion, token uniqueness).
     pub safety: OracleReport,
     /// The liveness oracle's report (starvation, token loss, stuck nodes).
@@ -60,6 +67,13 @@ impl Outcome {
     /// the debug rendering of every violation). Two runs of the same
     /// scenario in the same build produce the same fingerprint, whatever
     /// thread ran them — the explorer's summary folds these.
+    ///
+    /// The hardened-mode counters (`epoch_discards`, `mint_requests`,
+    /// `mint_acks`) are deliberately *not* folded in: they are zero for
+    /// every baseline run, and leaving them out keeps the committed
+    /// baseline battery fingerprints stable across the hardening's
+    /// introduction. `PartialEq` still covers them, so replay-identity
+    /// assertions see the full outcome.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut hash = oc_sim::Fnv64::new();
@@ -91,6 +105,21 @@ impl Outcome {
 /// pure function of `(scenario, mutation)` over the open-cube protocol.
 #[must_use]
 pub fn run_scenario(scenario: &Scenario, mutation: Mutation) -> Outcome {
+    run_scenario_hardened(scenario, mutation, Hardening::None)
+}
+
+/// Runs one scenario with an explicit hardening mode — the same pure
+/// function as [`run_scenario`], with the open-cube nodes built under
+/// the given [`Hardening`]. Hardening is a run-time parameter, not part
+/// of the scenario: the same `oc1-` ID replays under either mode, which
+/// is how the partition batteries compare baseline and quorum verdicts
+/// on identical fault scripts.
+#[must_use]
+pub fn run_scenario_hardened(
+    scenario: &Scenario,
+    mutation: Mutation,
+    hardening: Hardening,
+) -> Outcome {
     run_scenario_with(scenario, |s| {
         let cfg = Config::new(
             s.n,
@@ -98,7 +127,8 @@ pub fn run_scenario(scenario: &Scenario, mutation: Mutation) -> Outcome {
             SimDuration::from_ticks(s.cs_ticks),
         )
         .with_contention_slack(SimDuration::from_ticks(s.contention_slack))
-        .with_mutation(mutation);
+        .with_mutation(mutation)
+        .with_hardening(hardening);
         OpenCubeNode::build_all(cfg)
     })
 }
@@ -155,6 +185,9 @@ where
         lost_to_faults: metrics.lost_to_faults,
         lost_to_partition: metrics.lost_to_partition,
         duplicated: metrics.duplicated_deliveries,
+        epoch_discards: metrics.epoch_discards,
+        mint_requests: metrics.sent(oc_sim::MsgKind::MintRequest),
+        mint_acks: metrics.sent(oc_sim::MsgKind::MintAck),
         safety: world.oracle_report().clone(),
         liveness,
     }

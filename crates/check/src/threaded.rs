@@ -111,6 +111,12 @@ pub fn run_scenario_runtime(
         lost_to_faults: report.lost_to_faults,
         lost_to_partition: report.lost_to_partition,
         duplicated: report.duplicated_deliveries,
+        // The runtime's report carries no per-kind or epoch accounting;
+        // runtime outcomes are verdict evidence, not counter fingerprints
+        // (see the module doc), so these stay zero.
+        epoch_discards: 0,
+        mint_requests: 0,
+        mint_acks: 0,
         safety: report.safety,
         liveness: report.liveness,
     }

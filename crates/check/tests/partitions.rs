@@ -7,98 +7,82 @@
 //! full course, concludes the silent nodes dead, and regenerates; the
 //! instant the partition heals, two tokens meet. No token algorithm
 //! without quorum can tell "silent because dead" from "silent because
-//! partitioned", so these double-mints are expected findings, not
-//! regressions — but the *oracles must keep seeing them*. Each pinned ID
-//! below is a shrunk counterexample from the 5000-scenario partition
-//! battery (`explore --partitions --budget 5000 --seed 42`); each must
-//! keep failing, deterministically, until a quorum-style hardening makes
-//! it clean (then move it to `self_check.rs`'s fixed list and celebrate).
+//! partitioned", so under [`Hardening::None`] these double-mints are
+//! expected findings, not regressions — and the *oracles must keep
+//! seeing them*. Each pinned ID in
+//! [`oc_check::HEALED_PARTITION_PINS`] is a shrunk counterexample from
+//! the 5000-scenario partition battery (`explore --partitions --budget
+//! 5000 --seed 42`); each must keep failing, deterministically, under
+//! the baseline protocol.
+//!
+//! Under [`Hardening::Quorum`] the same IDs replay **clean** — that
+//! flip lives in `self_check.rs`'s hardened fixed list, which is the
+//! other half of this contract.
 
-use oc_algo::Mutation;
-use oc_check::{run_scenario, Scenario, ScenarioPhaseKind, Space};
+use oc_algo::{Hardening, Mutation};
+use oc_check::{run_scenario_hardened, Scenario, ScenarioPhaseKind, Space, HEALED_PARTITION_PINS};
 
-/// The shrunk healed-partition findings of the seed-42 battery, one per
-/// failing index. Every one is a safety violation (token duplication /
-/// mutual exclusion) born at or after a heal — the double-mint window.
-/// Regenerate with `hunt_partition_findings` below after protocol
-/// changes.
-const PARTITION_FINDINGS: &[(&str, &str)] = &[
-    // index 1021: n=16, 2 arrivals, 0 crashes — a cut alone suffices:
-    // the isolated claimant's search concludes the token side dead and
-    // mints; the heal delivers two tokens into one cube.
-    // MutualExclusion { at: t=24650, occupant: NodeId(5), intruder: NodeId(1) }
-    (
-        "partition-1021",
-        "oc1-10d2dc91beb99ff1a7fe01090d37cc3f90a10f0000000002df0a0d960b0c0002af0882280003bfbf01e7c7010001",
-    ),
-    // index 1032: n=2, 1 arrival, 1 crash, one split cut.
-    // TokenDuplication { at: t=37, count: 2 }
-    ("partition-1032", "oc1-02ebfcdeb99ae3a9cc1b02111d6190a10f000000000100010102000102010023010102"),
-    // index 1610: n=2, 1 arrival, 1 crash, one group cut.
-    // TokenDuplication { at: t=13, count: 2 }
-    ("partition-1610", "oc1-02a8d3e2fc9da3adcb790405243890a10f0000000001000201020101020100110000"),
-    // index 1656: n=4, 1 arrival, 1 crash, one group cut.
-    // TokenDuplication { at: t=803, count: 2 }
-    (
-        "partition-1656",
-        "oc1-04d3cbbb97fdfff4f3581215287c90a10f000000000100030101cc0501cd0501820693060000",
-    ),
-    // index 2648: n=8, 1 arrival, 1 crash, one group cut.
-    // TokenDuplication { at: t=275, count: 2 }
-    ("partition-2648", "oc1-0894d0f5eaefe3a4bdd2010210337390a10f0000000001000301030101030102360000"),
-    // index 2910: n=8, 1 arrival, 1 crash, one split cut.
-    // TokenDuplication { at: t=394, count: 2 }
-    (
-        "partition-2910",
-        "oc1-08ccd089f4c19ed8a77f0507223e90a10f000000000100050101dc0201dd0201f902960301020104",
-    ),
-    // index 3037: n=2, 1 arrival, 1 crash, one group cut.
-    // TokenDuplication { at: t=53, count: 2 }
-    ("partition-3037", "oc1-0285f5e0aea6e8cbc5460b192f930190a10f0000000001000201020001020100040000"),
-    // index 4960: n=4, 1 arrival, 1 crash, one split cut.
-    // TokenDuplication { at: t=296, count: 2 }
-    ("partition-4960", "oc1-04bef693d489c8fd90c001181842a20190a10f00000000010004010201010201024a010101"),
-];
-
-#[test]
-fn partition_findings_stay_detected() {
-    for (name, id) in PARTITION_FINDINGS {
+/// Replays every pinned healed-partition finding under the given
+/// hardening and asserts the expected verdict: baseline must keep
+/// failing with a safety violation, quorum must be clean. Both
+/// directions replay byte-identically from the same `oc1-` ID —
+/// hardening is a run-time parameter, not part of the scenario codec.
+fn replay_pins(hardening: Hardening, expect_clean: bool) {
+    for (name, id) in HEALED_PARTITION_PINS {
         let scenario = Scenario::from_id(id)
             .unwrap_or_else(|err| panic!("{name}: pinned id must decode: {err}"));
         assert!(
             !scenario.phases.is_empty(),
             "{name}: a partition finding must carry its fault script"
         );
-        let outcome = run_scenario(&scenario, Mutation::None);
-        assert!(
-            !outcome.is_clean(),
-            "{name}: the healed-partition finding disappeared — a hardening made it clean; \
-             promote it to self_check's fixed list"
-        );
-        assert!(
-            !outcome.safety.is_clean(),
-            "{name}: expected a safety violation (the post-heal double-mint): {outcome:?}"
-        );
-        // The replay is byte-identical: same scenario, same verdict.
-        let again = run_scenario(&scenario, Mutation::None);
+        let outcome = run_scenario_hardened(&scenario, Mutation::None, hardening);
+        if expect_clean {
+            assert!(
+                outcome.is_clean(),
+                "{name}: quorum regeneration must close the double-mint window: {outcome:?}"
+            );
+        } else {
+            assert!(
+                !outcome.is_clean(),
+                "{name}: the healed-partition finding disappeared under the baseline — \
+                 a hardening leaked into Hardening::None"
+            );
+            assert!(
+                !outcome.safety.is_clean(),
+                "{name}: expected a safety violation (the post-heal double-mint): {outcome:?}"
+            );
+        }
+        // The replay is byte-identical: same scenario, same hardening,
+        // same verdict.
+        let again = run_scenario_hardened(&scenario, Mutation::None, hardening);
         assert_eq!(outcome, again, "{name}: replay must be deterministic");
         assert_eq!(outcome.fingerprint(), again.fingerprint());
     }
 }
 
 #[test]
+fn partition_findings_stay_detected() {
+    replay_pins(Hardening::None, false);
+}
+
+#[test]
+fn partition_findings_flip_clean_under_quorum() {
+    replay_pins(Hardening::Quorum, true);
+}
+
+#[test]
 fn partition_scenarios_count_their_cut_losses() {
     // Any finding's replay must show the cut actually ate traffic —
     // the lost_to_partition counter is how a battery reads the cut.
-    let (_, id) = PARTITION_FINDINGS[0];
+    let (_, id) = HEALED_PARTITION_PINS[0];
     let scenario = Scenario::from_id(id).expect("pinned id decodes");
-    let outcome = run_scenario(&scenario, Mutation::None);
+    let outcome = run_scenario_hardened(&scenario, Mutation::None, Hardening::None);
     assert!(outcome.lost_to_partition > 0, "the cut must destroy something: {outcome:?}");
 }
 
 /// Scans the battery for failures and prints pin lines — the generator
-/// of `PARTITION_FINDINGS`, kept for refreshing the pins after protocol
-/// changes. Run with:
+/// of [`HEALED_PARTITION_PINS`], kept for refreshing the pins after
+/// protocol changes. Run with:
 /// `cargo test --release -p oc-check --test partitions -- --ignored --nocapture`
 #[test]
 #[ignore = "battery-sized; regenerates the pinned findings"]
@@ -107,7 +91,7 @@ fn hunt_partition_findings() {
     let mut found = 0usize;
     for index in 0..5_000u64 {
         let scenario = Scenario::generate(&space, 42, index);
-        let outcome = run_scenario(&scenario, Mutation::None);
+        let outcome = run_scenario_hardened(&scenario, Mutation::None, Hardening::None);
         if outcome.is_clean() {
             continue;
         }

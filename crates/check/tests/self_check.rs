@@ -15,8 +15,11 @@
 //!    model (message loss, the hot-contention × permanent-crash
 //!    quadrant) are *detected* as violations, not silently absorbed.
 
-use oc_algo::Mutation;
-use oc_check::{explore_serial, run_scenario, shrink, Scenario, Space};
+use oc_algo::{Hardening, Mutation};
+use oc_check::{
+    explore_serial, run_scenario, run_scenario_hardened, shrink, Scenario, Space,
+    HEALED_PARTITION_PINS,
+};
 
 /// Budget within which each planted mutation must be caught. The
 /// liveness mutation (skipped regeneration) needs a scenario where a
@@ -152,6 +155,29 @@ fn fixed_counterexamples_stay_fixed() {
         assert!(
             outcome.is_clean(),
             "{name}: regression — the fixed counterexample fails again: {outcome:?}"
+        );
+        assert!(outcome.drained, "{name}: must reach quiescence");
+    }
+}
+
+/// The hardened fixed list: every healed-partition double-mint the
+/// seed-42 battery ever pinned replays **clean** under
+/// [`Hardening::Quorum`]. These are the former `partitions.rs` findings,
+/// promoted here the day quorum-gated regeneration closed the window —
+/// a minority-side searcher can no longer assemble `n/2 + 1` mint
+/// grants, so the cut produces a parked minter instead of a second
+/// token, and the fencing epoch retires any stale token at the heal.
+/// The baseline direction (the same IDs must *keep failing* under
+/// [`Hardening::None`]) stays pinned in `partitions.rs`.
+#[test]
+fn hardened_partition_counterexamples_stay_fixed() {
+    for (name, id) in HEALED_PARTITION_PINS {
+        let scenario = Scenario::from_id(id)
+            .unwrap_or_else(|err| panic!("{name}: pinned id must decode: {err}"));
+        let outcome = run_scenario_hardened(&scenario, Mutation::None, Hardening::Quorum);
+        assert!(
+            outcome.is_clean(),
+            "{name}: regression — the quorum-hardened replay fails again: {outcome:?}"
         );
         assert!(outcome.drained, "{name}: must reach quiescence");
     }

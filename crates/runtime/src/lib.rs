@@ -571,9 +571,18 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
         let injected = shared.sessions.opened();
 
         // Terminal token census: live holders plus tokens still in
-        // flight (nonzero only on a forced shutdown).
-        let holders = finals.iter().filter(|f| !f.crashed && f.node.holds_token()).count();
-        let census = holders + shared.tokens_in_flight.load(Ordering::SeqCst) as usize;
+        // flight (nonzero only on a forced shutdown). The *safety* census
+        // counts only holders at the highest witnessed epoch — a fenced-
+        // out stale token awaiting discard is the current token's
+        // predecessor, not a duplicate (identical to the total under
+        // `Hardening::None`, where every epoch is 0).
+        let live_held = || finals.iter().filter(|f| !f.crashed && f.node.holds_token());
+        let holders = live_held().count();
+        let max_epoch = live_held().map(|f| f.node.token_epoch()).max().unwrap_or(0);
+        let holders_at_max = live_held().filter(|f| f.node.token_epoch() == max_epoch).count();
+        let in_flight = shared.tokens_in_flight.load(Ordering::SeqCst) as usize;
+        let census = holders + in_flight;
+        let census_at_max = holders_at_max + in_flight;
 
         let counters = &shared.counters;
         let cs_entries = counters.cs_entries.load(Ordering::SeqCst);
@@ -597,6 +606,7 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
                     idle: f.node.is_idle(),
                     recovered: f.recovered_ever,
                     isolated: isolated[f.idx],
+                    quorum_blocked: !f.crashed && f.node.quorum_blocked(),
                 })
                 .collect(),
         };
@@ -605,7 +615,7 @@ impl<P: Protocol + Send + 'static> Runtime<P> {
         let (safety, trace) = {
             let mut monitor = shared.lock_monitor();
             let at = shared.sim_now();
-            monitor.oracle.token_census(at, census);
+            monitor.oracle.token_census(at, census_at_max);
             let safety = monitor.oracle.report().clone();
             let trace = std::mem::replace(&mut monitor.trace, Trace::new(false));
             (safety, trace)
@@ -925,13 +935,13 @@ impl<M: MessageKind + core::fmt::Debug + Clone + Send + 'static> ActionSink<M>
         }
     }
 
-    fn enter_cs(&mut self, node: NodeId) {
+    fn enter_cs(&mut self, node: NodeId, token_epoch: u64) {
         let shared = self.shared;
         *self.lease += 1;
         {
             let mut monitor = shared.lock_monitor();
             let at = shared.sim_now();
-            monitor.oracle.enter_cs(at, node);
+            monitor.oracle.enter_cs(at, node, token_epoch);
             monitor.trace.push(at, TraceRecord::EnterCs(node));
         }
         shared.counters.cs_entries.fetch_add(1, Ordering::SeqCst);

@@ -28,8 +28,11 @@ pub trait ActionSink<M> {
     /// bounded-delay) network.
     fn send(&mut self, from: NodeId, to: NodeId, msg: M);
 
-    /// `node` enters the critical section now.
-    fn enter_cs(&mut self, node: NodeId);
+    /// `node` enters the critical section now, holding a token of epoch
+    /// `token_epoch` (always 0 outside hardened protocol modes; see
+    /// [`Protocol::token_epoch`]). The epoch reaches the oracle so it can
+    /// judge mutual exclusion per epoch.
+    fn enter_cs(&mut self, node: NodeId, token_epoch: u64);
 
     /// `node` arms (or re-arms) its local timer `id` to fire after
     /// `delay`.
@@ -54,7 +57,7 @@ pub fn drive<P: Protocol, S: ActionSink<P::Msg>>(
     debug_assert!(out.is_empty(), "outbox not drained after the previous event");
     let id = node.id();
     node.on_event(event, out);
-    execute(id, out, sink);
+    execute(id, node.token_epoch(), out, sink);
 }
 
 /// Runs `node`'s recovery hook and executes the resulting actions, same
@@ -67,14 +70,14 @@ pub fn drive_recovery<P: Protocol, S: ActionSink<P::Msg>>(
     debug_assert!(out.is_empty(), "outbox not drained after the previous event");
     let id = node.id();
     node.on_recover(out);
-    execute(id, out, sink);
+    execute(id, node.token_epoch(), out, sink);
 }
 
-fn execute<M, S: ActionSink<M>>(node: NodeId, out: &mut Outbox<M>, sink: &mut S) {
+fn execute<M, S: ActionSink<M>>(node: NodeId, token_epoch: u64, out: &mut Outbox<M>, sink: &mut S) {
     for action in out.drain_actions() {
         match action {
             Action::Send { to, msg } => sink.send(node, to, msg),
-            Action::EnterCs => sink.enter_cs(node),
+            Action::EnterCs => sink.enter_cs(node, token_epoch),
             Action::SetTimer { id, delay } => sink.set_timer(node, id, delay),
             Action::CancelTimer { id } => sink.cancel_timer(node, id),
         }
@@ -127,8 +130,8 @@ mod tests {
         fn send(&mut self, from: NodeId, to: NodeId, _msg: Ping) {
             self.0.push(format!("send {from}->{to}"));
         }
-        fn enter_cs(&mut self, node: NodeId) {
-            self.0.push(format!("cs {node}"));
+        fn enter_cs(&mut self, node: NodeId, token_epoch: u64) {
+            self.0.push(format!("cs {node} e{token_epoch}"));
         }
         fn set_timer(&mut self, node: NodeId, id: u64, delay: SimDuration) {
             self.0.push(format!("set {node} {id} {delay}"));
@@ -144,7 +147,7 @@ mod tests {
         let mut out = Outbox::new();
         let mut sink = Log::default();
         drive(&mut node, NodeEvent::RequestCs, &mut out, &mut sink);
-        assert_eq!(sink.0, vec!["send 1->2", "cs 1", "set 1 4 9", "cancel 1 4"]);
+        assert_eq!(sink.0, vec!["send 1->2", "cs 1 e0", "set 1 4 9", "cancel 1 4"]);
         assert!(out.is_empty());
 
         let mut sink = Log::default();

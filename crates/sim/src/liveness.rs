@@ -114,6 +114,11 @@ pub struct NodeAtHorizon {
     /// pending obligations are the environment's fault, not the
     /// algorithm's, so the per-node stuck judgement skips it.
     pub isolated: bool,
+    /// The node's [`Protocol::quorum_blocked`] at the horizon: it wants to
+    /// regenerate the token but cannot assemble a majority (hardened mode,
+    /// minority side of a cut). Safety-over-availability by design, so the
+    /// oracle excuses it exactly like a cut-isolated node.
+    pub quorum_blocked: bool,
 }
 
 /// A substrate-agnostic snapshot of a finished run at its horizon — the
@@ -165,16 +170,25 @@ impl Horizon {
 /// are still pending.
 #[must_use]
 pub fn check_liveness<P: Protocol>(world: &World<P>, drained: bool) -> LivenessReport {
-    let (isolated, unreachable) = world.partition_isolation(drained);
-    let nodes = NodeId::all(world.len())
+    let (isolated, mut unreachable) = world.partition_isolation(drained);
+    let nodes: Vec<NodeAtHorizon> = NodeId::all(world.len())
         .map(|id| NodeAtHorizon {
             node: id,
             alive: world.is_alive(id),
             idle: world.node(id).is_idle(),
             recovered: world.has_recovered(id),
             isolated: isolated[id.zero_based() as usize],
+            quorum_blocked: world.is_alive(id) && world.node(id).quorum_blocked(),
         })
         .collect();
+    // Requests stranded behind a quorum that cannot assemble are withheld
+    // by the same environment that cut the majority away — excuse them
+    // like the cut-isolated ones (without double-counting overlap).
+    unreachable += nodes
+        .iter()
+        .filter(|state| state.quorum_blocked && !state.isolated)
+        .map(|state| world.pending_requests(state.node) as u64)
+        .sum::<u64>();
     check_horizon(&Horizon {
         drained,
         events: world.metrics().events_processed,
@@ -247,11 +261,17 @@ pub fn check_horizon(horizon: &Horizon) -> LivenessReport {
         // live node must be isolated AND every non-isolated live node
         // must be quiet. A busy node on the token's own side is a spin
         // the partition does not excuse, and the exhaustion is reported.
-        let isolated_spin = horizon.nodes.iter().any(|state| state.alive && state.isolated)
+        // A quorum-blocked node spins for the same environmental reason —
+        // its mint retries are *supposed* to keep probing until the heal —
+        // so it both excuses the spin and is excused from the quietness
+        // requirement on the remaining nodes.
+        let excused =
+            |state: &NodeAtHorizon| state.alive && (state.isolated || state.quorum_blocked);
+        let isolated_spin = horizon.nodes.iter().any(excused)
             && horizon
                 .nodes
                 .iter()
-                .filter(|state| state.alive && !state.isolated)
+                .filter(|state| state.alive && !state.isolated && !state.quorum_blocked)
                 .all(|state| state.idle);
         if !isolated_spin {
             report.violations.push(LivenessViolation::HorizonExhausted { events: horizon.events });
@@ -269,7 +289,7 @@ pub fn check_horizon(horizon: &Horizon) -> LivenessReport {
     }
     let mut stuck = Vec::new();
     for state in &horizon.nodes {
-        if state.alive && !state.idle && !state.isolated {
+        if state.alive && !state.idle && !state.isolated && !state.quorum_blocked {
             stuck.push(LivenessViolation::StuckNode {
                 node: state.node,
                 recovered: state.recovered,

@@ -23,11 +23,19 @@ pub enum MsgKind {
     Answer,
     /// The anomaly notification sent by a recovered node (Section 5).
     Anomaly,
+    /// A hardened-mode mint ballot: a node asking for quorum permission to
+    /// regenerate the token at a proposed epoch (never sent by the paper
+    /// protocol — `Hardening::None` runs count zero of these).
+    MintRequest,
+    /// Grant/refusal reply to a mint ballot (hardened mode only).
+    MintAck,
 }
 
 impl MsgKind {
     /// `true` for kinds that exist only to handle failures; the paper's
-    /// "overhead messages per failure" metric counts these.
+    /// "overhead messages per failure" metric counts these. The hardened
+    /// mint traffic counts as overhead too: it exists only on the
+    /// regeneration path.
     #[must_use]
     pub fn is_failure_overhead(self) -> bool {
         !matches!(self, MsgKind::Request | MsgKind::Token)
@@ -35,7 +43,7 @@ impl MsgKind {
 
     /// All kinds, for table headers.
     #[must_use]
-    pub fn all() -> [MsgKind; 7] {
+    pub fn all() -> [MsgKind; 9] {
         [
             MsgKind::Request,
             MsgKind::Token,
@@ -44,10 +52,12 @@ impl MsgKind {
             MsgKind::Test,
             MsgKind::Answer,
             MsgKind::Anomaly,
+            MsgKind::MintRequest,
+            MsgKind::MintAck,
         ]
     }
 
-    /// Dense index of this kind into a `[_; 7]` counter array.
+    /// Dense index of this kind into a `[_; 9]` counter array.
     #[inline]
     fn index(self) -> usize {
         self as usize
@@ -60,7 +70,7 @@ pub struct Metrics {
     /// Messages sent, indexed by [`MsgKind`] discriminant. A fixed array
     /// instead of a map: `record_send` sits on the per-send hot path, and
     /// an indexed add is both branch-free and allocation-free.
-    sends_by_kind: [u64; 7],
+    sends_by_kind: [u64; 9],
     /// Messages destroyed because the destination had crashed.
     pub lost_to_crashes: u64,
     /// Messages dropped on links to *live* nodes by injected link faults
@@ -92,6 +102,14 @@ pub struct Metrics {
     pub total_waiting_ticks: u64,
     /// Events processed by the simulator.
     pub events_processed: u64,
+    /// Stale tokens discarded by hardened-mode epoch fencing: a token
+    /// whose epoch trailed the receiver's highest witnessed epoch, or a
+    /// held token fenced out by higher-epoch evidence. Always 0 under
+    /// `Hardening::None`. Filled from the nodes' own counters by
+    /// `World::metrics` (the discard happens inside the protocol, not in
+    /// the substrate).
+    #[serde(default)]
+    pub epoch_discards: u64,
 }
 
 impl Metrics {
@@ -180,6 +198,7 @@ impl Metrics {
         self.recoveries += other.recoveries;
         self.total_waiting_ticks += other.total_waiting_ticks;
         self.events_processed += other.events_processed;
+        self.epoch_discards += other.epoch_discards;
     }
 }
 
@@ -211,8 +230,18 @@ mod tests {
             MsgKind::Test,
             MsgKind::Answer,
             MsgKind::Anomaly,
+            MsgKind::MintRequest,
+            MsgKind::MintAck,
         ] {
             assert!(k.is_failure_overhead(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_indices() {
+        let kinds = MsgKind::all();
+        for (i, k) in kinds.into_iter().enumerate() {
+            assert_eq!(k.index(), i, "{k:?}");
         }
     }
 
@@ -245,6 +274,7 @@ mod tests {
         m.recoveries = salt % 2;
         m.total_waiting_ticks = 10 * salt;
         m.events_processed = 100 + salt;
+        m.epoch_discards = salt + 5;
         m
     }
 
@@ -262,6 +292,7 @@ mod tests {
         assert_eq!(a.cs_entries, 16);
         assert_eq!(a.total_waiting_ticks, 80);
         assert_eq!(a.events_processed, 208);
+        assert_eq!(a.epoch_discards, 18);
     }
 
     #[test]

@@ -61,13 +61,23 @@ impl OracleReport {
 /// oracle itself never cares which substrate produced an event.
 #[derive(Debug, Default)]
 pub struct Oracle {
-    /// Every node currently inside the CS, in entry order. Normally empty
-    /// or a single element; anything longer *is* a violation, and keeping
-    /// the whole set (rather than only the first occupant) means every
-    /// overlapping entry after the first is reported and every occupant's
-    /// exit — intruders included — is honored, so a third concurrent
-    /// entry after the original occupant left cannot slip past unreported.
-    occupants: Vec<NodeId>,
+    /// Every node currently inside the CS with the token epoch it entered
+    /// under, in entry order. Normally empty or a single element; a
+    /// *same-epoch* overlap is a violation, and keeping the whole set
+    /// (rather than only the first occupant) means every overlapping entry
+    /// after the first is reported and every occupant's exit — intruders
+    /// included — is honored, so a third concurrent entry after the
+    /// original occupant left cannot slip past unreported.
+    ///
+    /// Epochs exist for the hardened protocol mode: after a healed
+    /// partition, a fenced-out stale token (lower epoch) can still admit
+    /// its holder to the CS until the fence reaches it — that overlap is
+    /// the *defined* semantics of epoch fencing (the resource guard
+    /// compares epochs), not a mutual-exclusion failure. The invariant is
+    /// per-epoch: no two nodes in the CS under the *same* epoch. Baseline
+    /// runs put every entry at epoch 0, which degenerates to the plain
+    /// mutual-exclusion check.
+    occupants: Vec<(NodeId, u64)>,
     report: OracleReport,
 }
 
@@ -78,24 +88,31 @@ impl Oracle {
         Oracle { occupants: Vec::new(), report: OracleReport::default() }
     }
 
-    /// A node enters the critical section.
-    pub fn enter_cs(&mut self, at: SimTime, node: NodeId) {
-        if let Some(&occupant) = self.occupants.first() {
+    /// A node enters the critical section under token epoch `epoch`
+    /// (always 0 outside the hardened mode).
+    pub fn enter_cs(&mut self, at: SimTime, node: NodeId, epoch: u64) {
+        if let Some(&(occupant, _)) =
+            self.occupants.iter().find(|(_, held_epoch)| *held_epoch == epoch)
+        {
             self.report.violations.push(Violation::MutualExclusion {
                 at,
                 occupant,
                 intruder: node,
             });
         }
-        self.occupants.push(node);
+        self.occupants.push((node, epoch));
     }
 
     /// A node leaves the critical section (or crashes inside it).
     pub fn exit_cs(&mut self, node: NodeId) {
-        self.occupants.retain(|occupant| *occupant != node);
+        self.occupants.retain(|(occupant, _)| *occupant != node);
     }
 
-    /// Periodic token census: `count` live tokens exist right now.
+    /// Periodic token census: `count` live tokens exist right now. The
+    /// hardened caller counts only tokens at the highest witnessed epoch —
+    /// fenced-out stale tokens awaiting discard are not duplicates of the
+    /// current token, they are its predecessors. Baseline callers count
+    /// every live token (all at epoch 0), exactly as before.
     pub fn token_census(&mut self, at: SimTime, count: usize) {
         if count > 1 {
             self.report.violations.push(Violation::TokenDuplication { at, count });
@@ -122,12 +139,14 @@ impl Oracle {
     /// This judges *mutual exclusion only* — a trace does not carry token
     /// custody, so token-uniqueness needs a live census feed (the
     /// simulator's per-event census, or the runtime's terminal census).
+    /// Trace records carry no epoch either, so the replay judges at epoch
+    /// 0 — the strict (baseline) interpretation.
     #[must_use]
     pub fn replay_cs(trace: &crate::trace::Trace) -> OracleReport {
         let mut oracle = Oracle::new();
         for (at, record) in trace.records() {
             match record {
-                crate::trace::TraceRecord::EnterCs(node) => oracle.enter_cs(*at, *node),
+                crate::trace::TraceRecord::EnterCs(node) => oracle.enter_cs(*at, *node, 0),
                 crate::trace::TraceRecord::ExitCs(node)
                 | crate::trace::TraceRecord::Crash(node) => oracle.exit_cs(*node),
                 _ => {}
@@ -144,9 +163,9 @@ mod tests {
     #[test]
     fn clean_run_reports_clean() {
         let mut o = Oracle::new();
-        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1), 0);
         o.exit_cs(NodeId::new(1));
-        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2));
+        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2), 0);
         o.exit_cs(NodeId::new(2));
         o.token_census(SimTime::from_ticks(3), 1);
         o.token_census(SimTime::from_ticks(4), 0);
@@ -156,8 +175,8 @@ mod tests {
     #[test]
     fn detects_mutual_exclusion_violation() {
         let mut o = Oracle::new();
-        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
-        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2));
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1), 0);
+        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2), 0);
         assert_eq!(o.report().violations().len(), 1);
         assert!(matches!(
             o.report().violations()[0],
@@ -179,10 +198,10 @@ mod tests {
         // intrudes (violation), node 1 leaves — node 2 is *still inside*,
         // so node 3's entry must be reported as a second violation.
         let mut o = Oracle::new();
-        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
-        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2));
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1), 0);
+        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2), 0);
         o.exit_cs(NodeId::new(1));
-        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3));
+        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3), 0);
         assert_eq!(o.report().violations().len(), 2);
         assert!(matches!(
             o.report().violations()[1],
@@ -192,7 +211,7 @@ mod tests {
         // Once both leave, a fresh entry is clean again.
         o.exit_cs(NodeId::new(2));
         o.exit_cs(NodeId::new(3));
-        o.enter_cs(SimTime::from_ticks(4), NodeId::new(4));
+        o.enter_cs(SimTime::from_ticks(4), NodeId::new(4), 0);
         assert_eq!(o.report().violations().len(), 2);
     }
 
@@ -201,11 +220,11 @@ mod tests {
         // The intruder leaving must clear *its* occupancy, not the
         // original occupant's.
         let mut o = Oracle::new();
-        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
-        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2));
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1), 0);
+        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2), 0);
         o.exit_cs(NodeId::new(2));
         // Node 1 is still inside: a new entry is a violation.
-        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3));
+        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3), 0);
         assert_eq!(o.report().violations().len(), 2);
     }
 
@@ -231,12 +250,36 @@ mod tests {
     }
 
     #[test]
+    fn cross_epoch_overlap_is_fencing_not_a_violation() {
+        // Hardened semantics: a stale-epoch holder still inside the CS
+        // while the new-epoch holder enters is the *defined* behavior of
+        // epoch fencing, not a mutual-exclusion failure.
+        let mut o = Oracle::new();
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1), 0);
+        o.enter_cs(SimTime::from_ticks(2), NodeId::new(2), 1);
+        assert!(o.report().is_clean(), "different epochs may overlap");
+        // A same-epoch intruder on either occupant is still a violation.
+        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3), 1);
+        assert_eq!(o.report().violations().len(), 1);
+        assert!(matches!(
+            o.report().violations()[0],
+            Violation::MutualExclusion { occupant, intruder, .. }
+                if occupant == NodeId::new(2) && intruder == NodeId::new(3)
+        ));
+        // Exits clear per-node occupancy across epochs.
+        o.exit_cs(NodeId::new(2));
+        o.exit_cs(NodeId::new(3));
+        o.enter_cs(SimTime::from_ticks(4), NodeId::new(4), 0);
+        assert_eq!(o.report().violations().len(), 2, "epoch 0 is still occupied by node 1");
+    }
+
+    #[test]
     fn exit_by_non_occupant_is_ignored() {
         let mut o = Oracle::new();
-        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1));
+        o.enter_cs(SimTime::from_ticks(1), NodeId::new(1), 0);
         o.exit_cs(NodeId::new(2));
         o.exit_cs(NodeId::new(1));
-        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3));
+        o.enter_cs(SimTime::from_ticks(3), NodeId::new(3), 0);
         assert!(o.report().is_clean());
     }
 }

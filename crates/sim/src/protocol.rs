@@ -68,6 +68,15 @@ pub trait MessageKind {
     fn carries_token(&self) -> bool {
         self.kind() == MsgKind::Token
     }
+
+    /// The mint epoch of the token this message carries (meaningful only
+    /// when [`MessageKind::carries_token`]). The census counts in-flight
+    /// tokens per epoch so a fenced-out stale token is not mistaken for a
+    /// duplicate of its successor. Default: 0 — non-hardened protocols
+    /// live entirely in epoch 0.
+    fn token_epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// A distributed-protocol node as a pure state machine.
@@ -113,6 +122,33 @@ pub trait Protocol {
     /// estimate, not an exact malloc census. Default: 0 (inline-only
     /// state).
     fn heap_bytes(&self) -> usize {
+        0
+    }
+
+    /// The epoch of the token this node currently holds (meaningful only
+    /// while [`Protocol::holds_token`]); epoch-fenced hardened protocols
+    /// override this. The oracle records CS entries under this epoch, and
+    /// the token census counts only highest-epoch tokens. Default: 0 —
+    /// protocols without fencing live entirely in epoch 0, which keeps
+    /// every oracle check exactly as strict as before.
+    fn token_epoch(&self) -> u64 {
+        0
+    }
+
+    /// `true` while the node wants to regenerate the token but cannot
+    /// assemble the required quorum (hardened mode on the minority side of
+    /// a partition). The liveness oracle excuses such nodes the way it
+    /// excuses cut-isolated ones: their starvation is the environment's
+    /// fault, chosen deliberately (safety over availability). Default:
+    /// `false`.
+    fn quorum_blocked(&self) -> bool {
+        false
+    }
+
+    /// Stale tokens this node has discarded through epoch fencing.
+    /// Aggregated into [`crate::Metrics::epoch_discards`] by the world at
+    /// snapshot time. Default: 0.
+    fn epoch_discards(&self) -> u64 {
         0
     }
 }

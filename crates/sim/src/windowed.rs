@@ -68,7 +68,7 @@ const PARALLEL_THRESHOLD: usize = 128;
 /// serially in canonical order by phase B.
 enum ReplayAction<M> {
     Send { to: NodeId, msg: M },
-    EnterCs,
+    EnterCs { token_epoch: u64 },
     SetTimer { id: u64, generation: u64, fire_at: SimTime },
 }
 
@@ -77,14 +77,24 @@ struct Outcome<M> {
     /// `false` when a substrate guard rejected the event (dead target,
     /// stale timer generation, spurious CS exit): no protocol code ran.
     dispatched: bool,
-    /// Change of the node's `alive && holds_token` census flag.
-    holds_delta: i8,
+    /// The node's `alive && holds_token` right after this event, with the
+    /// held token's epoch and the node's discard counter — snapshots for
+    /// phase B's canonical-order census sync.
+    holds_after: bool,
+    epoch_after: u64,
+    discards_after: u64,
     actions: Vec<ReplayAction<M>>,
 }
 
 impl<M> Outcome<M> {
     fn rejected() -> Self {
-        Outcome { dispatched: false, holds_delta: 0, actions: Vec::new() }
+        Outcome {
+            dispatched: false,
+            holds_after: false,
+            epoch_after: 0,
+            discards_after: 0,
+            actions: Vec::new(),
+        }
     }
 }
 
@@ -107,9 +117,9 @@ impl<M> ActionSink<M> for WindowSink<'_, M> {
         self.actions.push(ReplayAction::Send { to, msg });
     }
 
-    fn enter_cs(&mut self, _node: NodeId) {
+    fn enter_cs(&mut self, _node: NodeId, token_epoch: u64) {
         self.in_cs[self.idx - self.start] = true;
-        self.actions.push(ReplayAction::EnterCs);
+        self.actions.push(ReplayAction::EnterCs { token_epoch });
     }
 
     fn set_timer(&mut self, _node: NodeId, id: u64, delay: SimDuration) {
@@ -130,7 +140,6 @@ struct Chunk<'a, P: Protocol> {
     /// Zero-based index of the first node in the chunk.
     start: usize,
     nodes: &'a mut [P],
-    holds_token: &'a mut [bool],
     in_cs: &'a mut [bool],
     rows: &'a mut [TimerRow],
     gens: &'a mut [u64],
@@ -208,13 +217,18 @@ fn react<P: Protocol>(
             actions: Vec::new(),
         };
         engine::drive(&mut chunk.nodes[rel], node_event, &mut outbox, &mut sink);
-        let held = alive[idx] && chunk.nodes[rel].holds_token();
-        let mut holds_delta = 0i8;
-        if held != chunk.holds_token[rel] {
-            chunk.holds_token[rel] = held;
-            holds_delta = if held { 1 } else { -1 };
-        }
-        out.push((pos, Outcome { dispatched: true, holds_delta, actions: sink.actions }));
+        let node = &chunk.nodes[rel];
+        let held = alive[idx] && node.holds_token();
+        out.push((
+            pos,
+            Outcome {
+                dispatched: true,
+                holds_after: held,
+                epoch_after: if held { node.token_epoch() } else { 0 },
+                discards_after: node.epoch_discards(),
+                actions: sink.actions,
+            },
+        ));
     }
     out
 }
@@ -300,7 +314,6 @@ impl<P: Protocol + Send> World<P> {
             let alive: &[bool] = &self.core.alive;
             let (mut rows, mut gens) = self.core.timers.parts_mut();
             let mut nodes: &mut [P] = &mut self.nodes;
-            let mut holds: &mut [bool] = &mut self.holds_token;
             let mut in_cs: &mut [bool] = &mut self.core.in_cs;
             let mut chunks = Vec::with_capacity(threads);
             let mut start = 0usize;
@@ -308,8 +321,6 @@ impl<P: Protocol + Send> World<P> {
                 let take = chunk_size.min(nodes.len());
                 let (node_head, node_tail) = nodes.split_at_mut(take);
                 nodes = node_tail;
-                let (holds_head, holds_tail) = holds.split_at_mut(take);
-                holds = holds_tail;
                 let (cs_head, cs_tail) = in_cs.split_at_mut(take);
                 in_cs = cs_tail;
                 let (row_head, row_tail) = rows.split_at_mut(take);
@@ -319,7 +330,6 @@ impl<P: Protocol + Send> World<P> {
                 chunks.push(Chunk {
                     start,
                     nodes: node_head,
-                    holds_token: holds_head,
                     in_cs: cs_head,
                     rows: row_head,
                     gens: gen_head,
@@ -344,7 +354,7 @@ impl<P: Protocol + Send> World<P> {
         }
         // Phase B: commit in canonical order.
         for (pos, (at, event)) in window.iter().enumerate() {
-            let Outcome { dispatched, holds_delta, actions } =
+            let Outcome { dispatched, holds_after, epoch_after, discards_after, actions } =
                 outcomes[pos].take().expect("every window event has an outcome");
             self.core.now = *at;
             self.core.metrics.events_processed += 1;
@@ -352,6 +362,9 @@ impl<P: Protocol + Send> World<P> {
                 SimEvent::Deliver { to, from, msg } => {
                     if msg.carries_token() {
                         self.core.tokens_in_flight -= 1;
+                        if msg.token_epoch() == self.core.max_epoch {
+                            self.core.in_flight_at_max -= 1;
+                        }
                     }
                     if dispatched {
                         if self.core.trace.is_enabled() {
@@ -392,12 +405,13 @@ impl<P: Protocol + Send> World<P> {
                 }
                 SimEvent::Crash { .. } | SimEvent::Recover { .. } => unreachable!(),
             }
-            self.core.live_holders = self
-                .core
-                .live_holders
-                .checked_add_signed(isize::from(holds_delta))
-                .expect("live-holder census underflow");
-            self.core.oracle.token_census(*at, self.core.live_holders + self.core.tokens_in_flight);
+            if dispatched {
+                let idx = target(event).zero_based() as usize;
+                self.apply_token_sync(idx, holds_after, epoch_after, discards_after);
+            }
+            self.core
+                .oracle
+                .token_census(*at, self.core.holders_at_max + self.core.in_flight_at_max);
         }
     }
 
@@ -417,10 +431,10 @@ impl<P: Protocol + Send> World<P> {
                 // The verbatim serial send path: fault draws, delay
                 // samples, and queue sequence numbers in identical order.
                 ReplayAction::Send { to, msg } => self.core.send(node, to, msg),
-                ReplayAction::EnterCs => {
+                ReplayAction::EnterCs { token_epoch } => {
                     // Mirror of `Core::enter_cs` minus the `in_cs` flag,
                     // which the window worker already set.
-                    self.core.oracle.enter_cs(now, node);
+                    self.core.oracle.enter_cs(now, node, token_epoch);
                     self.core.metrics.cs_entries += 1;
                     if let Some(requested_at) = self.core.pending_request_times[idx].pop_front() {
                         self.core.metrics.total_waiting_ticks += (now - requested_at).ticks();

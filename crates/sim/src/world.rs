@@ -141,6 +141,28 @@ pub(crate) struct Core<M> {
     /// Live nodes currently holding the token, maintained incrementally so
     /// the per-event census is O(1) instead of O(n).
     pub(crate) live_holders: usize,
+    /// Highest token epoch the substrate has witnessed (held or in
+    /// flight). Stays 0 under non-hardened protocols.
+    pub(crate) max_epoch: u64,
+    /// Live holders whose token is at `max_epoch`. Equal to `live_holders`
+    /// while `max_epoch == 0` (the non-hardened case).
+    pub(crate) holders_at_max: usize,
+    /// In-flight tokens at `max_epoch`. Equal to `tokens_in_flight` while
+    /// `max_epoch == 0`.
+    pub(crate) in_flight_at_max: usize,
+}
+
+impl<M> Core<M> {
+    /// Witnesses a freshly minted epoch: every lower-epoch token is now a
+    /// fenced-out predecessor, not a peer — the max-epoch census restarts
+    /// at zero (no token at the new epoch can predate the mint that
+    /// introduced it).
+    fn bump_epoch(&mut self, epoch: u64) {
+        debug_assert!(epoch > self.max_epoch);
+        self.max_epoch = epoch;
+        self.holders_at_max = 0;
+        self.in_flight_at_max = 0;
+    }
 }
 
 impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
@@ -221,15 +243,24 @@ impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
         }
         if msg.carries_token() {
             self.tokens_in_flight += 1;
+            // A token minted and immediately forwarded within one event can
+            // reach the wire before the holder cache sees the new epoch.
+            let epoch = msg.token_epoch();
+            if epoch > self.max_epoch {
+                self.bump_epoch(epoch);
+            }
+            if epoch == self.max_epoch {
+                self.in_flight_at_max += 1;
+            }
         }
         let delay = self.config.delay.sample(&mut self.rng);
         self.queue.push(self.now + delay, SimEvent::Deliver { to, from, msg });
     }
 
-    fn enter_cs(&mut self, node: NodeId) {
+    fn enter_cs(&mut self, node: NodeId, token_epoch: u64) {
         let idx = node.zero_based() as usize;
         self.in_cs[idx] = true;
-        self.oracle.enter_cs(self.now, node);
+        self.oracle.enter_cs(self.now, node, token_epoch);
         self.metrics.cs_entries += 1;
         if let Some(requested_at) = self.pending_request_times[idx].pop_front() {
             self.metrics.total_waiting_ticks += (self.now - requested_at).ticks();
@@ -259,6 +290,14 @@ pub struct World<P: Protocol> {
     /// Cached `alive && holds_token` per node, kept in sync after every
     /// event a node processes; backs the O(1) token census.
     pub(crate) holds_token: Vec<bool>,
+    /// Cached token epoch per holding node (0 where `holds_token` is
+    /// false), so the max-epoch census can retire a holder's contribution
+    /// without re-asking the protocol.
+    pub(crate) holder_epochs: Vec<u64>,
+    /// Cached [`Protocol::epoch_discards`] per node; the delta after each
+    /// event flows into [`Metrics::epoch_discards`] (the discard happens
+    /// inside the protocol, invisible to the substrate).
+    epoch_discard_cache: Vec<u64>,
     /// Reusable action buffer — drained in place each event, so the hot
     /// path allocates nothing.
     pub(crate) outbox: Outbox<P::Msg>,
@@ -284,7 +323,17 @@ impl<P: Protocol> World<P> {
         }
         let n = nodes.len();
         let holds_token: Vec<bool> = nodes.iter().map(Protocol::holds_token).collect();
+        let holder_epochs: Vec<u64> = nodes
+            .iter()
+            .map(|node| if node.holds_token() { node.token_epoch() } else { 0 })
+            .collect();
         let live_holders = holds_token.iter().filter(|held| **held).count();
+        let max_epoch = holder_epochs.iter().copied().max().unwrap_or(0);
+        let holders_at_max = holds_token
+            .iter()
+            .zip(&holder_epochs)
+            .filter(|(held, epoch)| **held && **epoch == max_epoch)
+            .count();
         let seed = config.seed;
         let record_trace = config.record_trace;
         let queue = EventQueue::with_backend(config.queue);
@@ -292,6 +341,8 @@ impl<P: Protocol> World<P> {
         World {
             nodes,
             holds_token,
+            holder_epochs,
+            epoch_discard_cache: vec![0; n],
             outbox: Outbox::new(),
             core: Core {
                 config,
@@ -310,6 +361,9 @@ impl<P: Protocol> World<P> {
                 requests_injected: 0,
                 tokens_in_flight: 0,
                 live_holders,
+                max_epoch,
+                holders_at_max,
+                in_flight_at_max: 0,
             },
         }
     }
@@ -558,14 +612,23 @@ impl<P: Protocol> World<P> {
             SimEvent::Crash { node } => self.handle_crash(node),
             SimEvent::Recover { node } => self.handle_recover(node),
         }
+        // Only max-epoch tokens count as duplicates of each other: a
+        // fenced-out stale token is the predecessor of the current one,
+        // awaiting discard. Under non-hardened protocols max_epoch stays
+        // 0 and this is exactly `live_holders + tokens_in_flight`.
         self.core
             .oracle
-            .token_census(self.core.now, self.core.live_holders + self.core.tokens_in_flight);
+            .token_census(self.core.now, self.core.holders_at_max + self.core.in_flight_at_max);
     }
 
     fn handle_deliver(&mut self, to: NodeId, from: NodeId, msg: P::Msg) {
         if msg.carries_token() {
             self.core.tokens_in_flight -= 1;
+            // A token below max_epoch left the at-max count when the epoch
+            // was bumped; only current-epoch arrivals are still in it.
+            if msg.token_epoch() == self.core.max_epoch {
+                self.core.in_flight_at_max -= 1;
+            }
         }
         let idx = to.zero_based() as usize;
         if !self.core.alive[idx] {
@@ -642,11 +705,16 @@ impl<P: Protocol> World<P> {
         // after recovering (timers are generation-guarded against
         // exactly this; ExitCs events are purged here instead).
         let mut lost_tokens = 0usize;
+        let mut lost_tokens_at_max = 0usize;
         let mut lost = 0u64;
+        let max_epoch = self.core.max_epoch;
         self.core.queue.retain(|ev| match ev {
             SimEvent::Deliver { to, msg, .. } if *to == node => {
                 if msg.carries_token() {
                     lost_tokens += 1;
+                    if msg.token_epoch() == max_epoch {
+                        lost_tokens_at_max += 1;
+                    }
                 }
                 lost += 1;
                 false
@@ -655,6 +723,7 @@ impl<P: Protocol> World<P> {
             _ => true,
         });
         self.core.tokens_in_flight -= lost_tokens;
+        self.core.in_flight_at_max -= lost_tokens_at_max;
         self.core.metrics.lost_to_crashes += lost;
         self.core.trace.push(self.core.now, TraceRecord::Crash(node));
         self.sync_token_cache(idx);
@@ -681,17 +750,51 @@ impl<P: Protocol> World<P> {
         self.sync_token_cache(idx);
     }
 
-    /// Re-reads `holds_token` for the one node whose state just changed,
-    /// keeping the census counter exact at O(1) per event.
+    /// Re-reads `holds_token` (and the held token's epoch) for the one
+    /// node whose state just changed, keeping the census counters exact at
+    /// O(1) per event.
     fn sync_token_cache(&mut self, idx: usize) {
         let held = self.core.alive[idx] && self.nodes[idx].holds_token();
-        if held != self.holds_token[idx] {
-            self.holds_token[idx] = held;
+        let epoch = if held { self.nodes[idx].token_epoch() } else { 0 };
+        let discards = self.nodes[idx].epoch_discards();
+        self.apply_token_sync(idx, held, epoch, discards);
+    }
+
+    /// The cache/census update of [`World::sync_token_cache`] against
+    /// externally observed node state — shared with the windowed driver,
+    /// whose phase A snapshots `(held, epoch, discards)` per event so
+    /// phase B can commit the census in canonical order.
+    pub(crate) fn apply_token_sync(&mut self, idx: usize, held: bool, epoch: u64, discards: u64) {
+        if held && epoch > self.core.max_epoch {
+            // A mint just happened here: older holders left the at-max
+            // count wholesale (bump zeroes it), without touching their
+            // cached epochs — their eventual release checks against the
+            // *new* max and correctly decrements nothing.
+            self.core.bump_epoch(epoch);
+        }
+        let was_held = self.holds_token[idx];
+        let was_epoch = self.holder_epochs[idx];
+        if was_held != held || was_epoch != epoch {
+            if was_held {
+                self.core.live_holders -= 1;
+                if was_epoch == self.core.max_epoch {
+                    self.core.holders_at_max -= 1;
+                }
+            }
             if held {
                 self.core.live_holders += 1;
-            } else {
-                self.core.live_holders -= 1;
+                if epoch == self.core.max_epoch {
+                    self.core.holders_at_max += 1;
+                }
             }
+            self.holds_token[idx] = held;
+            self.holder_epochs[idx] = epoch;
+        }
+        // Epoch-fencing discards happen inside the protocol; fold the
+        // node-side counter's delta into the run metrics as it grows.
+        if discards != self.epoch_discard_cache[idx] {
+            self.core.metrics.epoch_discards += discards - self.epoch_discard_cache[idx];
+            self.epoch_discard_cache[idx] = discards;
         }
     }
 }

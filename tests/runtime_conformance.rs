@@ -21,7 +21,7 @@
 
 use std::time::Duration;
 
-use opencube::algo::{Config, OpenCubeNode};
+use opencube::algo::{Config, Hardening, OpenCubeNode};
 use opencube::runtime::{Runtime, RuntimeConfig, RuntimeReport};
 use opencube::sim::{
     check_liveness, ArrivalSchedule, DelayModel, FailurePlan, SimConfig, SimDuration, SimTime,
@@ -43,9 +43,10 @@ const GAP: u64 = 1_000;
 /// Wall-clock length of one tick in the runtime.
 const TICK: Duration = Duration::from_micros(5);
 
-fn protocol_config(n: usize) -> Config {
+fn protocol_config(n: usize, hardening: Hardening) -> Config {
     Config::new(n, SimDuration::from_ticks(DELTA), SimDuration::from_ticks(CS))
         .with_contention_slack(SimDuration::from_ticks(SLACK))
+        .with_hardening(hardening)
 }
 
 struct SimOutcome {
@@ -53,7 +54,13 @@ struct SimOutcome {
     census: usize,
 }
 
-fn run_sim(n: usize, schedule: &ArrivalSchedule, plan: &FailurePlan, seed: u64) -> SimOutcome {
+fn run_sim(
+    n: usize,
+    schedule: &ArrivalSchedule,
+    plan: &FailurePlan,
+    seed: u64,
+    hardening: Hardening,
+) -> SimOutcome {
     let mut world = World::new(
         SimConfig {
             delay: DelayModel::Uniform {
@@ -65,7 +72,7 @@ fn run_sim(n: usize, schedule: &ArrivalSchedule, plan: &FailurePlan, seed: u64) 
             max_events: 50_000_000,
             ..SimConfig::default()
         },
-        OpenCubeNode::build_all(protocol_config(n)),
+        OpenCubeNode::build_all(protocol_config(n, hardening)),
     );
     world.schedule_workload(schedule);
     world.schedule_failures(plan);
@@ -82,7 +89,12 @@ fn run_sim(n: usize, schedule: &ArrivalSchedule, plan: &FailurePlan, seed: u64) 
     SimOutcome { cs_entries: world.metrics().cs_entries, census: world.live_token_census() }
 }
 
-fn run_runtime(n: usize, schedule: &ArrivalSchedule, plan: &FailurePlan) -> RuntimeReport {
+fn run_runtime(
+    n: usize,
+    schedule: &ArrivalSchedule,
+    plan: &FailurePlan,
+    hardening: Hardening,
+) -> RuntimeReport {
     let rt = Runtime::start(
         RuntimeConfig {
             workers: 8,
@@ -93,7 +105,7 @@ fn run_runtime(n: usize, schedule: &ArrivalSchedule, plan: &FailurePlan) -> Runt
             seed: 7,
             ..RuntimeConfig::default()
         },
-        OpenCubeNode::build_all(protocol_config(n)),
+        OpenCubeNode::build_all(protocol_config(n, hardening)),
     );
     let ids = rt.schedule_workload(schedule);
     assert_eq!(ids.len(), schedule.len());
@@ -108,6 +120,14 @@ fn run_runtime(n: usize, schedule: &ArrivalSchedule, plan: &FailurePlan) -> Runt
 
 /// Runs one differential cell and cross-checks the two substrates.
 fn conformance(n: usize, with_crash: bool) {
+    conformance_under(n, with_crash, Hardening::None);
+}
+
+/// The same differential cell with an explicit hardening mode: both
+/// substrates run the quorum-hardened protocol, so the crash cell's
+/// regeneration goes through a mint ballot (all peers are reachable, so
+/// the quorum assembles) and the verdicts must still agree.
+fn conformance_under(n: usize, with_crash: bool, hardening: Hardening) {
     let mut rng = StdRng::seed_from_u64(n as u64 * 31 + u64::from(with_crash));
     let mut schedule = ArrivalSchedule::every_node_once(&mut rng, n, SimDuration::from_ticks(GAP));
     let mut plan = FailurePlan::none();
@@ -126,11 +146,11 @@ fn conformance(n: usize, with_crash: bool) {
         schedule = schedule.then(SimTime::from_ticks(crash_at + 30_000), victim);
     }
 
-    let sim = run_sim(n, &schedule, &plan, 42);
+    let sim = run_sim(n, &schedule, &plan, 42, hardening);
     let expected_entries = schedule.len() as u64;
     assert_eq!(sim.cs_entries, expected_entries, "sim served everything exactly once");
 
-    let report = run_runtime(n, &schedule, &plan);
+    let report = run_runtime(n, &schedule, &plan, hardening);
     assert!(
         report.is_clean(),
         "runtime oracle violations at n={n} crash={with_crash}: safety={:?} liveness={:?}",
@@ -169,4 +189,16 @@ fn conformance_n64() {
 fn conformance_n256() {
     conformance(256, false);
     conformance(256, true);
+}
+
+#[test]
+fn hardened_conformance_n16() {
+    conformance_under(16, false, Hardening::Quorum);
+    conformance_under(16, true, Hardening::Quorum);
+}
+
+#[test]
+fn hardened_conformance_n64() {
+    conformance_under(64, false, Hardening::Quorum);
+    conformance_under(64, true, Hardening::Quorum);
 }
