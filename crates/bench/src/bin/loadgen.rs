@@ -34,14 +34,17 @@ runtime, reporting latency quantiles, throughput, and oracle verdicts.
   --duration SEC  custom cell: measurement window seconds (default: 5)
   --rate R        custom cell: open-loop requests/second
   --clients C     custom cell: closed-loop client count
+  --namespaces K  custom cell: multi-tenant namespaces (needs --clients)
   --churn K       custom cell: crash/recovery pairs across the window
   --partitions K  custom cell: partition/heal cycles across the window
   --help          this message
 
 Without --n/--rate/--clients the standard battery runs (open loop at
-two scales, closed-loop saturation, open loop under crash churn, open
-loop under partition churn); --quick shrinks it. A custom cell needs --n plus exactly one of --rate or
---clients.
+two scales, closed-loop saturation, multi-tenant saturation, open loop
+under crash churn, open loop under partition churn); --quick shrinks
+it. A custom cell needs --n plus exactly one of --rate or --clients;
+--clients with --namespaces drives the batched multi-tenant hot path
+(fault-free: --churn/--partitions must stay 0).
 ";
 
 struct Options {
@@ -53,6 +56,7 @@ struct Options {
     duration_secs: f64,
     rate: Option<u64>,
     clients: Option<usize>,
+    namespaces: Option<usize>,
     churn: usize,
     partitions: usize,
 }
@@ -67,14 +71,15 @@ fn parse_options(args: &[String]) -> Options {
         duration_secs: 5.0,
         rate: None,
         clients: None,
+        namespaces: None,
         churn: 0,
         partitions: 0,
     };
     let mut parser = FlagParser::new(USAGE, args);
     while let Some(flag) = parser.next_flag() {
         match flag.name.as_str() {
-            "--seed" | "--n" | "--workers" | "--duration" | "--rate" | "--clients" | "--churn"
-            | "--partitions" => {
+            "--seed" | "--n" | "--workers" | "--duration" | "--rate" | "--clients"
+            | "--namespaces" | "--churn" | "--partitions" => {
                 let value = parser.value(&flag, "a number");
                 let bad = |parser: &FlagParser| -> ! {
                     parser.usage_error(&format!("invalid {} value: {value:?}", flag.name));
@@ -113,6 +118,12 @@ fn parse_options(args: &[String]) -> Options {
                                 bad(&parser);
                             }));
                     }
+                    "--namespaces" => {
+                        options.namespaces =
+                            Some(value.parse().ok().filter(|&k| k > 0).unwrap_or_else(|| {
+                                bad(&parser);
+                            }));
+                    }
                     "--churn" => {
                         options.churn = value.parse().unwrap_or_else(|_| bad(&parser));
                     }
@@ -145,6 +156,14 @@ fn parse_options(args: &[String]) -> Options {
     if options.n.is_some() && options.rate.is_none() && options.clients.is_none() {
         parser.usage_error("--n needs one of --rate or --clients");
     }
+    if options.namespaces.is_some() {
+        if options.clients.is_none() {
+            parser.usage_error("--namespaces needs --clients");
+        }
+        if options.churn > 0 || options.partitions > 0 {
+            parser.usage_error("--namespaces cells run fault-free (no --churn/--partitions)");
+        }
+    }
     options
 }
 
@@ -154,9 +173,12 @@ fn main() {
 
     let cells: Vec<LoadCell> = match options.n {
         Some(n) => {
-            let mode = match (options.rate, options.clients) {
-                (Some(rate_per_sec), None) => LoadMode::Open { rate_per_sec },
-                (None, Some(clients)) => LoadMode::Closed { clients },
+            let mode = match (options.rate, options.clients, options.namespaces) {
+                (Some(rate_per_sec), None, None) => LoadMode::Open { rate_per_sec },
+                (None, Some(clients), None) => LoadMode::Closed { clients },
+                (None, Some(clients), Some(namespaces)) => {
+                    LoadMode::Tenants { clients, namespaces }
+                }
                 _ => unreachable!("validated in parse_options"),
             };
             vec![LoadCell {
@@ -179,10 +201,11 @@ fn main() {
         if options.quick { ", quick" } else { "" },
     );
     println!(
-        "{:>12} {:>6} {:>3} {:>6} {:>5} {:>9} {:>9} {:>5} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6}",
+        "{:>14} {:>6} {:>3} {:>3} {:>6} {:>5} {:>9} {:>9} {:>5} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6}",
         "mode",
         "n",
         "wrk",
+        "ns",
         "churn",
         "cuts",
         "injected",
@@ -190,6 +213,7 @@ fn main() {
         "aband",
         "events/s",
         "cs/s",
+        "acq/s",
         "p50 µs",
         "p99 µs",
         "p999 µs",
@@ -201,10 +225,11 @@ fn main() {
     for cell in &cells {
         let row = run_cell(cell);
         println!(
-            "{:>12} {:>6} {:>3} {:>6} {:>5} {:>9} {:>9} {:>5} {:>10.0} {:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>6}",
+            "{:>14} {:>6} {:>3} {:>3} {:>6} {:>5} {:>9} {:>9} {:>5} {:>10.0} {:>10.1} {:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>6}",
             row.mode,
             row.n,
             row.workers,
+            row.namespaces,
             row.churn_crashes,
             row.partition_cycles,
             row.injected,
@@ -212,6 +237,7 @@ fn main() {
             row.abandoned,
             row.events_per_sec,
             row.cs_per_sec,
+            row.acq_per_sec,
             row.latency.p50_nanos as f64 / 1_000.0,
             row.latency.p99_nanos as f64 / 1_000.0,
             row.latency.p999_nanos as f64 / 1_000.0,

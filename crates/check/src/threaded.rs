@@ -46,8 +46,12 @@ impl Default for RuntimeProfile {
     }
 }
 
+/// Maps `t` scenario ticks onto wall time in pure `u64` nanoseconds
+/// (saturating), so large tick horizons don't collapse onto a `u32`
+/// clamp the way the pre-fix `Duration::saturating_mul(u32)` code did.
 fn ticks(profile: &RuntimeProfile, t: u64) -> Duration {
-    profile.tick.saturating_mul(u32::try_from(t).unwrap_or(u32::MAX))
+    let tick_nanos = u64::try_from(profile.tick.as_nanos()).unwrap_or(u64::MAX);
+    Duration::from_nanos(tick_nanos.saturating_mul(t))
 }
 
 /// Plays `scenario` through the threaded runtime and returns its oracle
@@ -84,6 +88,7 @@ pub fn run_scenario_runtime(
                 duplicate_per_mille: scenario.duplicate_per_mille,
             },
             record_trace: false,
+            ..RuntimeConfig::default()
         },
         // The scenario's fault script, verbatim: phase windows are in
         // ticks and the runtime evaluates them against its tick clock.
@@ -119,5 +124,25 @@ pub fn run_scenario_runtime(
         mint_acks: 0,
         safety: report.safety,
         liveness: report.liveness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_mapping_survives_large_horizons() {
+        // The wall-clock arithmetic bugfix: a 2^40-tick horizon at a
+        // 20µs tick is ≈ 255 days, far beyond the old u32 tick clamp
+        // (u32::MAX ticks ≈ 23 hours at 20µs, under which *every* larger
+        // timestamp collapsed to the same instant).
+        let profile = RuntimeProfile::default();
+        let t = 1u64 << 40;
+        assert_eq!(ticks(&profile, t), Duration::from_nanos(t * 20_000));
+        let old_clamp = profile.tick.saturating_mul(u32::MAX);
+        assert!(ticks(&profile, t) > old_clamp);
+        // Saturates instead of wrapping at the u64 nano ceiling.
+        assert_eq!(ticks(&profile, u64::MAX), Duration::from_nanos(u64::MAX));
     }
 }

@@ -9,6 +9,13 @@ use crate::histogram::LatencySummary;
 
 /// Everything a finished runtime session can tell you.
 ///
+/// Multi-tenant runs ([`crate::Runtime::start_multi`]) aggregate: the
+/// counters sum over every namespace, `terminal_token_census` counts one
+/// expected token *per namespace*, and the safety/liveness reports fold
+/// the per-namespace oracle verdicts (each namespace is judged by its
+/// own unmodified `oc_sim` oracle — mutual exclusion is a per-lock
+/// property).
+///
 /// The accounting mirrors the simulator's `Metrics` plus the liveness
 /// oracle's bookkeeping: `requests_injected == requests_completed +
 /// requests_abandoned` holds for every shutdown, however abrupt — a
@@ -44,10 +51,14 @@ pub struct RuntimeReport {
     pub lost_to_partition: u64,
     /// Extra deliveries injected by the duplicate-delivery fault.
     pub duplicated_deliveries: u64,
-    /// Live tokens at shutdown: held by live nodes plus in flight. The
-    /// quantity the conformance suite compares against the simulator's
-    /// terminal census.
+    /// Live tokens at shutdown: held by live nodes plus in flight,
+    /// summed over every namespace (a settled multi-tenant run reports
+    /// exactly `namespaces`). The quantity the conformance suite
+    /// compares against the simulator's terminal census.
     pub terminal_token_census: usize,
+    /// Independent lock namespaces this runtime served (1 unless started
+    /// with [`crate::Runtime::start_multi`]).
+    pub namespaces: usize,
     /// `true` if the runtime was settled when shutdown began: no
     /// in-flight work, every request terminal, every live node idle.
     /// When `false`, the liveness report contains `HorizonExhausted` (a

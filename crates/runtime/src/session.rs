@@ -12,11 +12,21 @@
 //! Grant order is per-node FIFO, matching the simulator's
 //! `pending_request_times` queues: when a node enters the CS, its oldest
 //! *activated* request is the one being served.
+//!
+//! Two batched-hot-path extras ride on each slot:
+//!
+//! * **auto-release** — the request exits the CS immediately after entry
+//!   instead of waiting out a wall-clock lease, so a closed-loop client
+//!   measures acquisition throughput rather than lease pacing;
+//! * **watchers** — a registered completion channel is notified once,
+//!   when the request reaches a terminal state, replacing status
+//!   sleep-polling in closed-loop clients.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crossbeam_channel::{unbounded, Receiver, Sender};
 use oc_topology::NodeId;
 
 use crate::histogram::{LatencyHistogram, LatencySummary};
@@ -61,6 +71,9 @@ impl RequestStatus {
     }
 }
 
+/// A terminal-state notification: `(request, its terminal status)`.
+pub(crate) type Completion = (RequestId, RequestStatus);
+
 #[derive(Debug)]
 struct RequestSlot {
     node: NodeId,
@@ -69,20 +82,39 @@ struct RequestSlot {
     /// but not the schedule's lead time.
     t0: Instant,
     status: RequestStatus,
+    /// Exit the CS immediately after entry (no wall-clock lease).
+    auto_release: bool,
+    /// Registered completion channel to notify at the terminal
+    /// transition, by watcher index.
+    watcher: Option<u32>,
 }
 
-#[derive(Debug)]
 struct SessionInner {
     slots: Vec<RequestSlot>,
     /// Activated-but-ungranted requests per node, FIFO.
     pending: Vec<VecDeque<u64>>,
     /// The request currently inside the CS per node, if any.
     current: Vec<Option<u64>>,
+    /// Registered completion channels, indexed by `RequestSlot::watcher`.
+    watchers: Vec<Sender<Completion>>,
     histogram: LatencyHistogram,
 }
 
+impl SessionInner {
+    /// Fires the slot's completion notification, if a watcher is
+    /// registered. Call only after a *terminal* transition — each slot
+    /// notifies at most once because terminal states never transition
+    /// again. A disconnected watcher is ignored (the client left).
+    fn notify(&self, id: u64) {
+        let slot = &self.slots[id as usize];
+        debug_assert!(slot.status.is_terminal());
+        if let Some(w) = slot.watcher {
+            let _ = self.watchers[w as usize].send((RequestId(id), slot.status));
+        }
+    }
+}
+
 /// Shared, mutex-protected session state (see module docs).
-#[derive(Debug)]
 pub(crate) struct SessionTable {
     inner: Mutex<SessionInner>,
 }
@@ -94,6 +126,7 @@ impl SessionTable {
                 slots: Vec::new(),
                 pending: vec![VecDeque::new(); n],
                 current: vec![None; n],
+                watchers: Vec::new(),
                 histogram: LatencyHistogram::new(),
             }),
         }
@@ -103,11 +136,33 @@ impl SessionTable {
         self.inner.lock().expect("session table poisoned")
     }
 
+    /// Registers a completion channel; terminal transitions of slots
+    /// opened with the returned index are sent to it.
+    pub(crate) fn register_watcher(&self) -> (u32, Receiver<Completion>) {
+        let (tx, rx) = unbounded();
+        let mut inner = self.lock();
+        let idx = inner.watchers.len() as u32;
+        inner.watchers.push(tx);
+        (idx, rx)
+    }
+
     /// Opens a new request slot (status `Pending`, not yet activated).
-    pub(crate) fn open(&self, node: NodeId, t0: Instant) -> RequestId {
+    pub(crate) fn open(
+        &self,
+        node: NodeId,
+        t0: Instant,
+        auto_release: bool,
+        watcher: Option<u32>,
+    ) -> RequestId {
         let mut inner = self.lock();
         let id = inner.slots.len() as u64;
-        inner.slots.push(RequestSlot { node, t0, status: RequestStatus::Pending });
+        inner.slots.push(RequestSlot {
+            node,
+            t0,
+            status: RequestStatus::Pending,
+            auto_release,
+            watcher,
+        });
         RequestId(id)
     }
 
@@ -127,6 +182,7 @@ impl SessionTable {
         let slot = &mut inner.slots[id.0 as usize];
         if slot.status == RequestStatus::Pending {
             slot.status = RequestStatus::Abandoned;
+            inner.notify(id.0);
             true
         } else {
             false
@@ -134,21 +190,23 @@ impl SessionTable {
     }
 
     /// Grants the node's oldest activated request: pops the FIFO, marks
-    /// it `Granted`, and records its latency. Returns the request and
-    /// its latency, or `None` if the node entered the CS with no session
-    /// request queued.
-    pub(crate) fn grant(&self, node: NodeId, now: Instant) -> Option<(RequestId, u64)> {
+    /// it `Granted`, and records its latency. Returns the request, its
+    /// latency, and whether it auto-releases — or `None` if the node
+    /// entered the CS with no session request queued.
+    pub(crate) fn grant(&self, node: NodeId, now: Instant) -> Option<(RequestId, u64, bool)> {
         let mut inner = self.lock();
         let idx = node.zero_based() as usize;
         let id = inner.pending[idx].pop_front()?;
-        let latency = {
+        let (latency, auto) = {
             let slot = &mut inner.slots[id as usize];
             slot.status = RequestStatus::Granted;
-            u64::try_from(now.saturating_duration_since(slot.t0).as_nanos()).unwrap_or(u64::MAX)
+            let latency = u64::try_from(now.saturating_duration_since(slot.t0).as_nanos())
+                .unwrap_or(u64::MAX);
+            (latency, slot.auto_release)
         };
         inner.current[idx] = Some(id);
         inner.histogram.record(latency);
-        Some((RequestId(id), latency))
+        Some((RequestId(id), latency, auto))
     }
 
     /// Completes the node's granted request (CS exit). Returns it, if
@@ -158,6 +216,7 @@ impl SessionTable {
         let idx = node.zero_based() as usize;
         let id = inner.current[idx].take()?;
         inner.slots[id as usize].status = RequestStatus::Completed;
+        inner.notify(id);
         Some(RequestId(id))
     }
 
@@ -166,6 +225,14 @@ impl SessionTable {
     pub(crate) fn is_current(&self, id: RequestId, node: NodeId) -> bool {
         let inner = self.lock();
         inner.current[node.zero_based() as usize] == Some(id.0)
+    }
+
+    /// `true` if the request currently holding `node`'s critical section
+    /// was opened auto-release — the worker's immediate-exit check.
+    pub(crate) fn current_is_auto(&self, node: NodeId) -> bool {
+        let inner = self.lock();
+        inner.current[node.zero_based() as usize]
+            .is_some_and(|id| inner.slots[id as usize].auto_release)
     }
 
     /// The node a request was issued against.
@@ -183,10 +250,12 @@ impl SessionTable {
         let mut abandoned = 0;
         while let Some(id) = inner.pending[idx].pop_front() {
             inner.slots[id as usize].status = RequestStatus::Abandoned;
+            inner.notify(id);
             abandoned += 1;
         }
         if let Some(id) = inner.current[idx].take() {
             inner.slots[id as usize].status = RequestStatus::Completed;
+            inner.notify(id);
         }
         abandoned
     }
@@ -198,15 +267,23 @@ impl SessionTable {
     pub(crate) fn finalize(&self) -> u64 {
         let mut inner = self.lock();
         let mut newly_abandoned = 0;
-        for slot in &mut inner.slots {
+        let mut newly_terminal = Vec::new();
+        for (id, slot) in inner.slots.iter_mut().enumerate() {
             match slot.status {
                 RequestStatus::Pending => {
                     slot.status = RequestStatus::Abandoned;
                     newly_abandoned += 1;
+                    newly_terminal.push(id as u64);
                 }
-                RequestStatus::Granted => slot.status = RequestStatus::Completed,
+                RequestStatus::Granted => {
+                    slot.status = RequestStatus::Completed;
+                    newly_terminal.push(id as u64);
+                }
                 _ => {}
             }
+        }
+        for id in newly_terminal {
+            inner.notify(id);
         }
         for queue in &mut inner.pending {
             queue.clear();
@@ -244,6 +321,29 @@ impl SessionTable {
         (completed, abandoned)
     }
 
+    /// Per-bucket request accounting for a partition of the node space
+    /// into contiguous ranges: `offsets[k]` is bucket `k`'s first
+    /// zero-based node index, buckets run to the next offset (the last to
+    /// infinity). Returns `(injected, completed, abandoned)` per bucket —
+    /// the liveness horizon's starvation equation, one namespace at a
+    /// time.
+    pub(crate) fn counts_by_bucket(&self, offsets: &[u32]) -> Vec<(u64, u64, u64)> {
+        let inner = self.lock();
+        let mut counts = vec![(0u64, 0u64, 0u64); offsets.len()];
+        for slot in &inner.slots {
+            let idx = slot.node.zero_based();
+            let bucket = offsets.partition_point(|&off| off <= idx).saturating_sub(1);
+            let entry = &mut counts[bucket];
+            entry.0 += 1;
+            match slot.status {
+                RequestStatus::Completed => entry.1 += 1,
+                RequestStatus::Abandoned => entry.2 += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+
     /// Requests opened so far.
     pub(crate) fn opened(&self) -> u64 {
         self.lock().slots.len() as u64
@@ -268,17 +368,23 @@ mod tests {
         SessionTable::new(4)
     }
 
+    fn open(t: &SessionTable, node: u32) -> RequestId {
+        t.open(NodeId::new(node), Instant::now(), false, None)
+    }
+
     #[test]
     fn lifecycle_pending_granted_completed() {
         let t = table();
         let now = Instant::now();
-        let id = t.open(NodeId::new(2), now);
+        let id = open(&t, 2);
         assert_eq!(t.status(id), Some(RequestStatus::Pending));
         t.activate(id);
-        let (granted, _latency) = t.grant(NodeId::new(2), now).expect("queued request");
+        let (granted, _latency, auto) = t.grant(NodeId::new(2), now).expect("queued request");
         assert_eq!(granted, id);
+        assert!(!auto);
         assert_eq!(t.status(id), Some(RequestStatus::Granted));
         assert!(t.is_current(id, NodeId::new(2)));
+        assert!(!t.current_is_auto(NodeId::new(2)));
         assert_eq!(t.complete_current(NodeId::new(2)), Some(id));
         assert_eq!(t.status(id), Some(RequestStatus::Completed));
         assert!(t.all_terminal());
@@ -288,8 +394,8 @@ mod tests {
     fn grant_order_is_fifo_per_node() {
         let t = table();
         let now = Instant::now();
-        let a = t.open(NodeId::new(1), now);
-        let b = t.open(NodeId::new(1), now);
+        let a = open(&t, 1);
+        let b = open(&t, 1);
         t.activate(a);
         t.activate(b);
         assert_eq!(t.grant(NodeId::new(1), now).unwrap().0, a);
@@ -301,8 +407,8 @@ mod tests {
     fn crash_abandons_pending_and_completes_current() {
         let t = table();
         let now = Instant::now();
-        let served = t.open(NodeId::new(3), now);
-        let starved = t.open(NodeId::new(3), now);
+        let served = open(&t, 3);
+        let starved = open(&t, 3);
         t.activate(served);
         t.activate(starved);
         t.grant(NodeId::new(3), now).unwrap();
@@ -316,8 +422,8 @@ mod tests {
     fn finalize_terminates_everything() {
         let t = table();
         let now = Instant::now();
-        let pending = t.open(NodeId::new(1), now);
-        let granted = t.open(NodeId::new(2), now);
+        let pending = open(&t, 1);
+        let granted = open(&t, 2);
         t.activate(granted);
         t.grant(NodeId::new(2), now).unwrap();
         assert_eq!(t.finalize(), 1);
@@ -332,5 +438,62 @@ mod tests {
         let t = table();
         assert!(t.grant(NodeId::new(1), Instant::now()).is_none());
         assert!(t.complete_current(NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn auto_release_flag_travels_through_grant() {
+        let t = table();
+        let id = t.open(NodeId::new(1), Instant::now(), true, None);
+        t.activate(id);
+        let (_, _, auto) = t.grant(NodeId::new(1), Instant::now()).unwrap();
+        assert!(auto);
+        assert!(t.current_is_auto(NodeId::new(1)));
+    }
+
+    #[test]
+    fn watcher_sees_every_terminal_transition_once() {
+        let t = table();
+        let (w, rx) = t.register_watcher();
+        let completed = t.open(NodeId::new(1), Instant::now(), false, Some(w));
+        let crashed = t.open(NodeId::new(2), Instant::now(), false, Some(w));
+        let finalized = t.open(NodeId::new(3), Instant::now(), false, Some(w));
+        let unwatched = open(&t, 4);
+        t.activate(completed);
+        t.grant(NodeId::new(1), Instant::now()).unwrap();
+        t.complete_current(NodeId::new(1));
+        t.activate(crashed);
+        t.crash_node(NodeId::new(2));
+        t.finalize();
+        let mut got: Vec<Completion> = Vec::new();
+        while let Ok(completion) = rx.try_recv() {
+            got.push(completion);
+        }
+        got.sort_by_key(|(id, _)| *id);
+        assert_eq!(
+            got,
+            vec![
+                (completed, RequestStatus::Completed),
+                (crashed, RequestStatus::Abandoned),
+                (finalized, RequestStatus::Abandoned),
+            ]
+        );
+        let _ = unwatched;
+    }
+
+    #[test]
+    fn counts_by_bucket_partitions_the_node_space() {
+        let t = table();
+        // Buckets: nodes {1,2} and {3,4}.
+        let a = open(&t, 1);
+        let b = open(&t, 3);
+        let c = open(&t, 4);
+        t.activate(a);
+        t.grant(NodeId::new(1), Instant::now()).unwrap();
+        t.complete_current(NodeId::new(1));
+        t.activate(b);
+        t.crash_node(NodeId::new(3));
+        let counts = t.counts_by_bucket(&[0, 2]);
+        assert_eq!(counts, vec![(1, 1, 0), (2, 0, 1)]);
+        let _ = c;
     }
 }

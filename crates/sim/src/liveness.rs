@@ -94,6 +94,15 @@ impl LivenessReport {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Folds another report into this one, preserving each report's
+    /// internal order. A multi-tenant substrate judges every namespace's
+    /// horizon separately (starvation and token conservation are
+    /// per-lock-instance properties) and absorbs the per-namespace
+    /// reports into one service-wide verdict.
+    pub fn absorb(&mut self, other: LivenessReport) {
+        self.violations.extend(other.violations);
+    }
 }
 
 /// One node's state at the liveness horizon.

@@ -50,6 +50,15 @@ impl OracleReport {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Folds another report into this one, preserving each report's
+    /// internal observation order. A multi-tenant substrate judges every
+    /// namespace with its own [`Oracle`] (mutual exclusion and token
+    /// uniqueness are per-lock-instance properties) and absorbs the
+    /// per-namespace reports into one service-wide verdict.
+    pub fn absorb(&mut self, other: OracleReport) {
+        self.violations.extend(other.violations);
+    }
 }
 
 /// Tracks CS occupancy and live-token counts across a run.

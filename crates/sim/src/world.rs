@@ -189,8 +189,21 @@ impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
             self.metrics.lost_to_partition += 1;
             return;
         }
-        // Link faults (off by default — this branch then draws no
-        // randomness, keeping legacy traces byte-identical).
+        // Probabilistic fault machinery: *every* fate is decided before
+        // any copy is enqueued, so a drop from either machinery (the
+        // legacy window or a scripted loss/degrade phase) destroys the
+        // logical send outright — no duplicate of a destroyed original
+        // can survive — and the two duplication windows collapse to at
+        // most one extra copy, mirroring how phases compose *within* a
+        // script (first drop wins, duplication flags accumulate).
+        //
+        // Both branches are off by default and then draw no randomness,
+        // keeping legacy traces byte-identical. Draw order (legacy loss,
+        // legacy dup, scripted phases in script order, then the delay
+        // samples) is unchanged from the act-as-you-go code for every
+        // configuration that does not combine a legacy window with a
+        // probabilistic script phase.
+        let mut duplicate = false;
         if self.config.faults.active_at(self.now) {
             let faults = self.config.faults;
             if faults.loss_per_mille > 0
@@ -207,15 +220,9 @@ impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
                 && !msg.carries_token()
                 && self.rng.random_range(0..1000u32) < u32::from(faults.duplicate_per_mille)
             {
-                // A second, independently delayed delivery of the same
-                // logical send (tokens exempt: see `LinkFaults`).
-                self.metrics.duplicated_deliveries += 1;
-                let delay = self.config.delay.sample(&mut self.rng);
-                self.queue.push(self.now + delay, SimEvent::Deliver { to, from, msg: msg.clone() });
+                duplicate = true;
             }
         }
-        // Scripted faults (off by default — the inactive script draws no
-        // randomness, keeping unscripted traces byte-identical).
         if self.compiled.active_at(self.now) {
             let fate = self.compiled.probabilistic_fate(
                 self.now,
@@ -230,16 +237,21 @@ impl<M: Clone + core::fmt::Debug + MessageKind> ActionSink<M> for Core<M> {
                     unreachable!("probabilistic_fate skips partition phases by construction")
                 }
                 LinkFate::DropLoss => {
+                    // The drop wins: a pending legacy duplicate dies with
+                    // the original it would have copied.
                     self.metrics.lost_to_faults += 1;
                     return;
                 }
-                LinkFate::DeliverAndDuplicate => {
-                    self.metrics.duplicated_deliveries += 1;
-                    let delay = self.config.delay.sample(&mut self.rng);
-                    self.queue
-                        .push(self.now + delay, SimEvent::Deliver { to, from, msg: msg.clone() });
-                }
+                LinkFate::DeliverAndDuplicate => duplicate = true,
             }
+        }
+        if duplicate {
+            // A second, independently delayed delivery of the same
+            // logical send (tokens exempt: see `LinkFaults`). At most one
+            // extra copy however many windows flagged it.
+            self.metrics.duplicated_deliveries += 1;
+            let delay = self.config.delay.sample(&mut self.rng);
+            self.queue.push(self.now + delay, SimEvent::Deliver { to, from, msg: msg.clone() });
         }
         if msg.carries_token() {
             self.tokens_in_flight += 1;
@@ -1124,6 +1136,74 @@ mod tests {
         assert_eq!(world.metrics().lost_to_partition, 1);
         assert_eq!(world.metrics().duplicated_deliveries, 0, "no copy may cross the cut");
         assert_eq!(world.metrics().cs_entries, 0);
+    }
+
+    #[test]
+    fn scripted_drop_destroys_the_legacy_duplicate_too() {
+        use crate::channel::{FaultPhase, FaultPhaseKind, FaultScript};
+        // The fault-ordering pin: a legacy window flags every non-token
+        // message for duplication, while a scripted loss phase destroys
+        // every message. The drop must win over the *whole* logical send
+        // — the act-as-you-go bug enqueued the legacy duplicate before
+        // the script decided the original's fate, delivering a copy of a
+        // message that was never sent.
+        let nodes = (1..=2u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+        let mut world = World::new(
+            SimConfig {
+                faults: LinkFaults {
+                    window_from: SimTime::ZERO,
+                    window_until: SimTime::from_ticks(1_000_000),
+                    loss_per_mille: 0,
+                    duplicate_per_mille: 1_000,
+                },
+                script: FaultScript::none().with_phase(FaultPhase {
+                    from: SimTime::ZERO,
+                    until: SimTime::from_ticks(1_000_000),
+                    kind: FaultPhaseKind::LossDup { loss_per_mille: 1_000, duplicate_per_mille: 0 },
+                }),
+                ..SimConfig::default()
+            },
+            nodes,
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        assert!(world.run_to_quiescence());
+        assert!(world.metrics().lost_to_faults > 0);
+        assert_eq!(world.metrics().duplicated_deliveries, 0, "no duplicate of a destroyed send");
+        assert_eq!(world.metrics().cs_entries, 0);
+    }
+
+    #[test]
+    fn overlapping_duplication_windows_yield_one_copy() {
+        use crate::channel::{FaultPhase, FaultPhaseKind, FaultScript};
+        // Legacy total duplication AND a scripted total-duplication phase:
+        // the flags collapse to at most ONE extra copy per logical send —
+        // the old code enqueued one copy per machinery (two total).
+        let nodes = (1..=2u32).map(|i| CentralNode::new(NodeId::new(i))).collect();
+        let mut world = World::new(
+            SimConfig {
+                faults: LinkFaults {
+                    window_from: SimTime::ZERO,
+                    window_until: SimTime::from_ticks(1_000_000),
+                    loss_per_mille: 0,
+                    duplicate_per_mille: 1_000,
+                },
+                script: FaultScript::none().with_phase(FaultPhase {
+                    from: SimTime::ZERO,
+                    until: SimTime::from_ticks(1_000_000),
+                    kind: FaultPhaseKind::LossDup { loss_per_mille: 0, duplicate_per_mille: 1_000 },
+                }),
+                max_events: 100_000,
+                ..SimConfig::default()
+            },
+            nodes,
+        );
+        world.schedule_request(SimTime::from_ticks(1), NodeId::new(2));
+        assert!(world.run_to_quiescence());
+        // One Req crosses the wire (Grant/Release carry the token and are
+        // exempt): exactly one duplicate, not two.
+        assert_eq!(world.metrics().duplicated_deliveries, 1);
+        assert_eq!(world.metrics().cs_entries, 2, "the naive coordinator serves the copy too");
+        assert!(world.oracle_report().is_clean());
     }
 
     #[test]

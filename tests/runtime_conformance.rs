@@ -89,22 +89,39 @@ fn run_sim(
     SimOutcome { cs_entries: world.metrics().cs_entries, census: world.live_token_census() }
 }
 
+fn runtime_config(batch: usize, routers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        workers: 8,
+        tick: TICK,
+        // δ = 40 ticks × 5µs = 200µs ≥ the router's max delay.
+        max_network_delay: Duration::from_micros(100),
+        cs_duration: TICK * CS as u32,
+        seed: 7,
+        batch,
+        routers,
+        ..RuntimeConfig::default()
+    }
+}
+
 fn run_runtime(
     n: usize,
     schedule: &ArrivalSchedule,
     plan: &FailurePlan,
     hardening: Hardening,
 ) -> RuntimeReport {
+    run_runtime_cfg(n, schedule, plan, hardening, 0, 0)
+}
+
+fn run_runtime_cfg(
+    n: usize,
+    schedule: &ArrivalSchedule,
+    plan: &FailurePlan,
+    hardening: Hardening,
+    batch: usize,
+    routers: usize,
+) -> RuntimeReport {
     let rt = Runtime::start(
-        RuntimeConfig {
-            workers: 8,
-            tick: TICK,
-            // δ = 40 ticks × 5µs = 200µs ≥ the router's max delay.
-            max_network_delay: Duration::from_micros(100),
-            cs_duration: TICK * CS as u32,
-            seed: 7,
-            ..RuntimeConfig::default()
-        },
+        runtime_config(batch, routers),
         OpenCubeNode::build_all(protocol_config(n, hardening)),
     );
     let ids = rt.schedule_workload(schedule);
@@ -201,4 +218,148 @@ fn hardened_conformance_n16() {
 fn hardened_conformance_n64() {
     conformance_under(64, false, Hardening::Quorum);
     conformance_under(64, true, Hardening::Quorum);
+}
+
+/// The batched hot path is a performance refactor, not a semantic one:
+/// the same scheduled workload must produce the same entry count, the
+/// same terminal census, and clean verdicts whether workers drain one
+/// command at a time (`batch: 1`, single router) or in bursts through
+/// sharded routers.
+#[test]
+fn batched_and_unbatched_runtimes_agree() {
+    let n = 16;
+    let mut rng = StdRng::seed_from_u64(1601);
+    let schedule = ArrivalSchedule::every_node_once(&mut rng, n, SimDuration::from_ticks(GAP));
+    let plan = FailurePlan::none();
+    let sim = run_sim(n, &schedule, &plan, 42, Hardening::None);
+
+    for (batch, routers) in [(1, 1), (0, 0), (256, 4)] {
+        let report = run_runtime_cfg(n, &schedule, &plan, Hardening::None, batch, routers);
+        assert!(
+            report.is_clean(),
+            "batch={batch} routers={routers}: safety={:?} liveness={:?}",
+            report.safety.violations(),
+            report.liveness.violations()
+        );
+        assert!(report.drained, "batch={batch} routers={routers}");
+        assert_eq!(report.cs_entries, sim.cs_entries, "batch={batch} routers={routers}");
+        assert_eq!(report.requests_abandoned, 0, "batch={batch} routers={routers}");
+        assert_eq!(report.terminal_token_census, sim.census, "batch={batch} routers={routers}");
+    }
+}
+
+/// Multi-tenant differential: `K` identical cubes behind one worker
+/// pool must each serve exactly what one simulated cube serves, judged
+/// namespace-by-namespace by the unmodified oracles. Requests fan out
+/// round-robin across namespaces (concurrent between tenants, ordered
+/// within each), so the shared routers and workers interleave tenant
+/// traffic while every per-namespace verdict stays clean.
+#[test]
+fn multi_namespace_runtime_matches_k_independent_sims() {
+    let n = 8;
+    let k = 6;
+    let mut rng = StdRng::seed_from_u64(806);
+    let schedule = ArrivalSchedule::every_node_once(&mut rng, n, SimDuration::from_ticks(GAP));
+    let sim = run_sim(n, &schedule, &FailurePlan::none(), 42, Hardening::None);
+    assert_eq!(sim.census, 1);
+
+    let rt = Runtime::start_multi(
+        runtime_config(0, 2),
+        (0..k).map(|_| OpenCubeNode::build_all(protocol_config(n, Hardening::None))).collect(),
+    );
+    assert_eq!(rt.namespaces(), k);
+    let watcher = rt.watcher();
+    // One wave per node: a request in every namespace, then all K
+    // completions, so tenants contend for workers at every step.
+    for node in 1..=n as u32 {
+        for ns in 0..k {
+            let _ = rt.acquire_watched(ns, NodeId::new(node), &watcher, false);
+        }
+        for _ in 0..k {
+            assert!(
+                watcher.recv_timeout(Duration::from_secs(30)).is_some(),
+                "wave for node {node} did not complete"
+            );
+        }
+    }
+    for ns in 0..k {
+        assert_eq!(rt.cs_entries_in(ns), n as u64, "namespace {ns} served its cube");
+    }
+    assert!(rt.await_settled(Duration::from_secs(60)));
+    let report = rt.shutdown();
+    assert!(
+        report.is_clean(),
+        "safety={:?} liveness={:?}",
+        report.safety.violations(),
+        report.liveness.violations()
+    );
+    assert!(report.drained);
+    assert_eq!(report.namespaces, k);
+    assert_eq!(report.cs_entries, sim.cs_entries * k as u64);
+    assert_eq!(report.requests_completed, report.cs_entries);
+    assert_eq!(report.requests_abandoned, 0);
+    // One live token per tenant — K times the single-cube census.
+    assert_eq!(report.terminal_token_census, sim.census * k);
+}
+
+/// Closed-loop saturation conformance: many small tenants driven flat
+/// out through the auto-release hot path must stay oracle-clean with
+/// fully conserved request accounting, batched or not.
+#[test]
+fn saturated_tenants_stay_clean_batched_and_unbatched() {
+    let n = 4;
+    let k = 16;
+    for (batch, routers) in [(0, 0), (1, 1)] {
+        let rt = Runtime::start_multi(
+            runtime_config(batch, routers),
+            (0..k).map(|_| OpenCubeNode::build_all(protocol_config(n, Hardening::None))).collect(),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_millis(300);
+        std::thread::scope(|scope| {
+            for client in 0..2usize {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let watcher = rt.watcher();
+                    let mut outstanding = 0usize;
+                    for ns in (client..k).step_by(2) {
+                        let _ = rt.acquire_watched(ns, NodeId::new(1), &watcher, true);
+                        outstanding += 1;
+                    }
+                    while outstanding > 0 {
+                        let Some((id, _)) = watcher.recv_timeout(Duration::from_secs(30)) else {
+                            panic!("saturation client wedged (batch={batch})");
+                        };
+                        outstanding -= 1;
+                        if std::time::Instant::now() < deadline {
+                            let ns = rt.namespace_of(id).expect("completion has a namespace");
+                            let _ = rt.acquire_watched(ns, NodeId::new(1), &watcher, true);
+                            outstanding += 1;
+                        }
+                    }
+                });
+            }
+        });
+        assert!(rt.await_settled(Duration::from_secs(60)), "batch={batch}");
+        let report = rt.shutdown();
+        assert!(
+            report.is_clean(),
+            "batch={batch} routers={routers}: safety={:?} liveness={:?}",
+            report.safety.violations(),
+            report.liveness.violations()
+        );
+        assert!(report.drained, "batch={batch}");
+        assert_eq!(report.namespaces, k);
+        assert_eq!(
+            report.requests_injected,
+            report.requests_completed + report.requests_abandoned,
+            "batch={batch}: request accounting must conserve"
+        );
+        assert_eq!(report.requests_abandoned, 0, "batch={batch}: nothing crashes here");
+        assert_eq!(report.cs_entries, report.requests_completed, "batch={batch}");
+        assert!(
+            report.cs_entries >= k as u64,
+            "batch={batch}: every tenant serves at least its seed request"
+        );
+        assert_eq!(report.terminal_token_census, k, "batch={batch}: one token per tenant");
+    }
 }
