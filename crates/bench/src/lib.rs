@@ -20,6 +20,7 @@
 pub mod cli;
 pub mod json;
 pub mod loadgen;
+pub mod orchestrator;
 pub mod sweep;
 
 use oc_algo::{Config, Hardening, OpenCubeNode};

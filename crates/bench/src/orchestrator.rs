@@ -1,0 +1,763 @@
+//! The socket-deployment orchestrator (experiment E13): spawns one
+//! `oc-node` process per protocol node, drives the session API over the
+//! gateway connections, SIGKILLs and restarts processes on schedule,
+//! and judges the run post hoc with the unmodified `oc-sim` oracles.
+//!
+//! The scenario language is `oc_check::netgate::GateScenario` — the
+//! same plain-ticks data the in-process differential twin consumes —
+//! so a conformance test runs *one* scenario through both substrates
+//! and compares [`GateOutcome`]s. On top of that, this module measures
+//! the deployment (scheduled-arrival-to-grant latency quantiles,
+//! throughput) and renders `BENCH_NET.json` rows.
+//!
+//! Judgement pipeline, after the run: read every node's event log plus
+//! the orchestrator's own log of synthesized `Crash` records (sound to
+//! stamp with the orchestrator's HLC because every process shares one
+//! machine clock, and the victim's last flushed record is strictly
+//! before the kill), merge by HLC stamp, replay through a fresh safety
+//! [`oc_sim::Oracle`], and feed the final per-node statuses into the
+//! shared liveness oracle via [`oc_sim::check_horizon`] — the same two
+//! entry points every other substrate answers to.
+
+use std::io;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use oc_check::netgate::{GateOutcome, GateScenario};
+use oc_sim::{check_horizon, Horizon, NodeAtHorizon};
+use oc_topology::NodeId;
+use oc_transport::{
+    frame::{read_frame, write_frame},
+    log::{merge, read_log, replay, LogRecord, LogWriter},
+    net::{Cluster, Stream},
+    wire::{self, CompletionStatus, Frame, NodeStatus},
+    Hlc,
+};
+
+use crate::json::Value;
+
+/// Wall-clock length of one scenario tick on the socket substrate.
+/// Chosen so the default δ of 40 ticks (2ms) upper-bounds localhost
+/// socket delay with generous scheduling margin.
+pub const NET_TICK: Duration = Duration::from_micros(50);
+
+/// Which transport the deployment speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// TCP over loopback.
+    Tcp,
+    /// Unix-domain sockets.
+    Uds,
+}
+
+impl TransportKind {
+    /// Table/JSON label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportKind::Tcp => "tcp",
+            TransportKind::Uds => "uds",
+        }
+    }
+}
+
+/// One deployment run to execute.
+#[derive(Debug, Clone)]
+pub struct NetCell {
+    /// Transport under test.
+    pub transport: TransportKind,
+    /// The scenario (sizes, arrivals, optional SIGKILL cycle) — shared
+    /// verbatim with the in-process differential twin.
+    pub scenario: GateScenario,
+    /// How long to wait for all requests to finish and the cluster to
+    /// settle before declaring the horizon unsettled.
+    pub settle_timeout: Duration,
+}
+
+/// One row of the E13 table / `BENCH_NET.json`.
+#[derive(Debug, Clone)]
+pub struct NetRow {
+    /// Transport label.
+    pub transport: &'static str,
+    /// System size (processes).
+    pub n: usize,
+    /// Requests injected through the gateway.
+    pub injected: u64,
+    /// Critical sections witnessed by the merged logs.
+    pub served: u64,
+    /// Requests abandoned (killed node, dead gateway link, shutdown).
+    pub abandoned: u64,
+    /// SIGKILLs delivered.
+    pub crashes: u64,
+    /// Process restarts.
+    pub recoveries: u64,
+    /// Wall-clock seconds from the first arrival to the last terminal
+    /// completion.
+    pub wall_secs: f64,
+    /// Served critical sections per wall second.
+    pub cs_per_sec: f64,
+    /// Scheduled-arrival-to-grant latency, p50, microseconds.
+    pub p50_us: f64,
+    /// Same, p99.
+    pub p99_us: f64,
+    /// Same, maximum.
+    pub max_us: f64,
+    /// Latency samples collected.
+    pub samples: u64,
+    /// Safety violations from the merged-log replay.
+    pub safety_violations: usize,
+    /// Liveness violations at the horizon.
+    pub liveness_violations: usize,
+    /// The run settled before its timeout.
+    pub settled: bool,
+}
+
+impl NetRow {
+    /// Clean: settled with zero oracle violations.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.settled && self.safety_violations == 0 && self.liveness_violations == 0
+    }
+
+    /// The row reduced to the differential-comparison payload.
+    #[must_use]
+    pub fn outcome(&self) -> GateOutcome {
+        GateOutcome {
+            injected: self.injected,
+            served: self.served,
+            abandoned: self.abandoned,
+            safety_violations: self.safety_violations,
+            liveness_violations: self.liveness_violations,
+            settled: self.settled,
+        }
+    }
+
+    /// Serializes the row for `BENCH_NET.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("transport", Value::str(self.transport)),
+            ("n", Value::UInt(self.n as u64)),
+            ("injected", Value::UInt(self.injected)),
+            ("served", Value::UInt(self.served)),
+            ("abandoned", Value::UInt(self.abandoned)),
+            ("crashes", Value::UInt(self.crashes)),
+            ("recoveries", Value::UInt(self.recoveries)),
+            ("wall_secs", Value::Num(self.wall_secs)),
+            ("cs_per_sec", Value::Num(self.cs_per_sec)),
+            ("p50_us", Value::Num(self.p50_us)),
+            ("p99_us", Value::Num(self.p99_us)),
+            ("max_us", Value::Num(self.max_us)),
+            ("latency_samples", Value::UInt(self.samples)),
+            ("safety_violations", Value::UInt(self.safety_violations as u64)),
+            ("liveness_violations", Value::UInt(self.liveness_violations as u64)),
+            ("settled", Value::Bool(self.settled)),
+        ])
+    }
+}
+
+/// Where the `oc-node` binary lives: next to the running executable
+/// (bench binaries) — integration tests use `CARGO_BIN_EXE_oc-node`
+/// instead.
+#[must_use]
+pub fn sibling_node_binary() -> PathBuf {
+    let mut path = std::env::current_exe().unwrap_or_else(|_| PathBuf::from("oc-node"));
+    path.set_file_name("oc-node");
+    path
+}
+
+static DEPLOY_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_workdir(seed: u64) -> io::Result<PathBuf> {
+    let seq = DEPLOY_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("oc-net-{}-{seed}-{seq}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Finds a base port with `n` consecutive free loopback ports.
+fn find_tcp_base(n: usize, seed: u64) -> io::Result<u16> {
+    for attempt in 0..256u64 {
+        let base = 20_000
+            + u16::try_from((seed.wrapping_mul(131).wrapping_add(attempt * 977)) % 40_000)
+                .expect("mod 40000 fits u16");
+        let free =
+            (0..n).all(|k| TcpListener::bind(("127.0.0.1", base.saturating_add(k as u16))).is_ok());
+        if free {
+            return Ok(base);
+        }
+    }
+    Err(io::Error::new(io::ErrorKind::AddrInUse, "no free contiguous port range found"))
+}
+
+fn make_cluster(kind: TransportKind, workdir: &Path, n: usize, seed: u64) -> io::Result<Cluster> {
+    match kind {
+        TransportKind::Tcp => Ok(Cluster::tcp("127.0.0.1", find_tcp_base(n, seed)?, n)),
+        TransportKind::Uds => {
+            let dir = workdir.join("sock");
+            std::fs::create_dir_all(&dir)?;
+            Ok(Cluster::uds(dir, n))
+        }
+    }
+}
+
+/// Per-request gateway state.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    node: u32,
+    scheduled: Instant,
+    granted_at: Option<Instant>,
+    /// `Some(true)` completed, `Some(false)` abandoned.
+    terminal: Option<bool>,
+}
+
+/// One step of the orchestrator's wall-clock timeline.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Arrive { req: usize, node: u32, at: u64 },
+    Kill { node: u32, at: u64 },
+    Respawn { node: u32, at: u64 },
+}
+
+impl Step {
+    fn at(&self) -> u64 {
+        match self {
+            Step::Arrive { at, .. } | Step::Kill { at, .. } | Step::Respawn { at, .. } => *at,
+        }
+    }
+}
+
+/// The live deployment the orchestrator manages.
+struct Deployment {
+    scenario: GateScenario,
+    cluster: Cluster,
+    node_bin: PathBuf,
+    workdir: PathBuf,
+    children: Vec<Option<Child>>,
+    conns: Vec<Option<Stream>>,
+    rx: Receiver<(usize, Frame)>,
+    tx: Sender<(usize, Frame)>,
+    reqs: Vec<Req>,
+    statuses: Vec<Option<NodeStatus>>,
+    dead: Vec<bool>,
+    recovered: Vec<bool>,
+    orch_hlc: Hlc,
+    orch_log: LogWriter,
+    crashes: u64,
+    recoveries: u64,
+}
+
+impl Deployment {
+    fn log_path(&self, id: u32) -> PathBuf {
+        self.workdir.join(format!("node-{id}.log"))
+    }
+
+    fn spawn_node(&self, id: u32, recover: bool) -> io::Result<Child> {
+        let s = &self.scenario;
+        let mut cmd = Command::new(&self.node_bin);
+        cmd.arg("--id")
+            .arg(id.to_string())
+            .arg("--n")
+            .arg(s.n.to_string())
+            .arg("--transport")
+            .arg(self.cluster.spec())
+            .arg("--log")
+            .arg(self.log_path(id))
+            .arg("--delta")
+            .arg(s.delta_ticks.to_string())
+            .arg("--cs")
+            .arg(s.cs_ticks.to_string())
+            .arg("--slack")
+            .arg(s.slack_ticks.to_string())
+            .arg("--tick-ns")
+            .arg(u64::try_from(NET_TICK.as_nanos()).unwrap_or(u64::MAX).to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null());
+        if recover {
+            cmd.arg("--recover");
+        }
+        cmd.spawn()
+    }
+
+    /// Connects this orchestrator's session-API link to node `id`,
+    /// retrying while the freshly spawned process binds its endpoint,
+    /// and starts the reader thread that feeds `self.rx`.
+    fn connect_gateway(&self, id: u32) -> io::Result<Stream> {
+        let endpoint = self.cluster.endpoint(id);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut stream = loop {
+            match endpoint.connect() {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        write_frame(&mut stream, &wire::encode(&Frame::ClientHello))?;
+        let mut reader = stream.try_clone()?;
+        let tx = self.tx.clone();
+        let idx = (id - 1) as usize;
+        std::thread::spawn(move || {
+            while let Ok(Some(payload)) = read_frame(&mut reader) {
+                if let Ok(frame) = wire::decode(&payload) {
+                    if tx.send((idx, frame)).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+        Ok(stream)
+    }
+
+    fn send(&mut self, idx: usize, frame: &Frame) -> bool {
+        let Some(stream) = &mut self.conns[idx] else { return false };
+        if write_frame(stream, &wire::encode(frame)).is_err() {
+            self.conns[idx] = None;
+            return false;
+        }
+        true
+    }
+
+    fn apply(&mut self, idx: usize, frame: Frame) {
+        match frame {
+            Frame::Granted { req } => {
+                if let Some(r) = self.reqs.get_mut(req as usize) {
+                    r.granted_at.get_or_insert_with(Instant::now);
+                }
+            }
+            Frame::Completion { req, status } => {
+                if let Some(r) = self.reqs.get_mut(req as usize) {
+                    r.terminal.get_or_insert(status == CompletionStatus::Completed);
+                }
+            }
+            Frame::Status(st) => self.statuses[idx] = Some(st),
+            _ => {}
+        }
+    }
+
+    /// Drains gateway events until `deadline`.
+    fn drain_until(&mut self, deadline: Instant) {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                while let Ok((idx, frame)) = self.rx.try_recv() {
+                    self.apply(idx, frame);
+                }
+                return;
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok((idx, frame)) => self.apply(idx, frame),
+                Err(RecvTimeoutError::Timeout) => return,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn kill(&mut self, node: u32) -> io::Result<()> {
+        let idx = (node - 1) as usize;
+        if let Some(child) = self.children[idx].as_mut() {
+            // SIGKILL on unix — the fail-stop crash model, no grace.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.children[idx] = None;
+        self.dead[idx] = true;
+        self.crashes += 1;
+        if let Some(conn) = self.conns[idx].take() {
+            conn.shutdown();
+        }
+        // Frames the victim flushed before dying are still in the pipe;
+        // give the reader a moment to deliver them before resolving.
+        self.drain_until(Instant::now() + Duration::from_millis(50));
+        let stamp = self.orch_hlc.tick();
+        self.orch_log.append(&LogRecord::Crash { stamp, node })?;
+        // Outstanding requests at the victim die with it: granted means
+        // the CS entry is on disk (completed), un-granted means it never
+        // will be (abandoned) — mirroring the runtime's crash semantics.
+        for r in self.reqs.iter_mut().filter(|r| r.node == node) {
+            if r.terminal.is_none() {
+                r.terminal = Some(r.granted_at.is_some());
+            }
+        }
+        Ok(())
+    }
+
+    fn respawn(&mut self, node: u32) -> io::Result<()> {
+        let idx = (node - 1) as usize;
+        self.children[idx] = Some(self.spawn_node(node, true)?);
+        self.conns[idx] = Some(self.connect_gateway(node)?);
+        self.dead[idx] = false;
+        self.recovered[idx] = true;
+        self.recoveries += 1;
+        Ok(())
+    }
+
+    /// One settle probe: queries every live node and waits briefly for
+    /// all answers. Returns the statuses' settle verdict.
+    fn probe(&mut self) -> bool {
+        for idx in 0..self.scenario.n {
+            if !self.dead[idx] {
+                self.statuses[idx] = None;
+                self.send(idx, &Frame::StatusQuery);
+            }
+        }
+        let deadline = Instant::now() + Duration::from_millis(300);
+        while Instant::now() < deadline {
+            let live_answered =
+                (0..self.scenario.n).all(|idx| self.dead[idx] || self.statuses[idx].is_some());
+            if live_answered {
+                break;
+            }
+            self.drain_until(Instant::now() + Duration::from_millis(20));
+        }
+        let all_terminal = self.reqs.iter().all(|r| r.terminal.is_some());
+        let live = (0..self.scenario.n).filter(|&idx| !self.dead[idx]);
+        let quiet = live.clone().all(|idx| {
+            self.statuses[idx].is_some_and(|st| st.idle && st.pending == 0 && !st.in_cs)
+        });
+        let holders = self.token_census();
+        all_terminal && quiet && holders <= 1
+    }
+
+    /// Live token holders per the latest statuses.
+    fn token_census(&self) -> usize {
+        (0..self.scenario.n)
+            .filter(|&idx| !self.dead[idx])
+            .filter(|&idx| self.statuses[idx].is_some_and(|st| st.holds_token))
+            .count()
+    }
+}
+
+/// Runs one deployment cell end to end and reports its row.
+///
+/// `node_bin` is the `oc-node` executable (tests:
+/// `env!("CARGO_BIN_EXE_oc-node")`; binaries: [`sibling_node_binary`]).
+///
+/// # Errors
+///
+/// Propagates orchestration I/O failures (spawn, connect, log files).
+/// Oracle violations are not errors — they come back in the row.
+pub fn run_deployment(node_bin: &Path, cell: &NetCell) -> io::Result<NetRow> {
+    let s = cell.scenario.clone();
+    let workdir = fresh_workdir(s.seed)?;
+    let cluster = make_cluster(cell.transport, &workdir, s.n, s.seed)?;
+    let (tx, rx) = unbounded();
+    let orch_log_path = workdir.join("orchestrator.log");
+    let mut deploy = Deployment {
+        cluster,
+        node_bin: node_bin.to_path_buf(),
+        children: (0..s.n).map(|_| None).collect(),
+        conns: (0..s.n).map(|_| None).collect(),
+        rx,
+        tx,
+        reqs: Vec::new(),
+        statuses: vec![None; s.n],
+        dead: vec![false; s.n],
+        recovered: vec![false; s.n],
+        orch_hlc: Hlc::new(0),
+        orch_log: LogWriter::open(&orch_log_path)?,
+        crashes: 0,
+        recoveries: 0,
+        workdir: workdir.clone(),
+        scenario: s.clone(),
+    };
+
+    // Boot: every process up and listening before the first arrival.
+    for id in 1..=s.n as u32 {
+        deploy.children[(id - 1) as usize] = Some(deploy.spawn_node(id, false)?);
+    }
+    for id in 1..=s.n as u32 {
+        deploy.conns[(id - 1) as usize] = Some(deploy.connect_gateway(id)?);
+    }
+
+    // Timeline: arrivals plus the kill/heal cycle, in tick order.
+    let schedule = s.schedule();
+    let mut steps: Vec<Step> = schedule
+        .arrivals()
+        .iter()
+        .enumerate()
+        .map(|(req, (at, node))| Step::Arrive { req, node: node.get(), at: at.ticks() })
+        .collect();
+    if let Some(k) = s.kill {
+        steps.push(Step::Kill { node: k.node, at: k.at_ticks });
+        steps.push(Step::Respawn { node: k.node, at: k.recover_ticks });
+    }
+    steps.sort_by_key(Step::at);
+
+    let tick_nanos = u64::try_from(NET_TICK.as_nanos()).unwrap_or(u64::MAX);
+    let start = Instant::now();
+    for step in steps {
+        let deadline = start + Duration::from_nanos(tick_nanos.saturating_mul(step.at()));
+        deploy.drain_until(deadline);
+        match step {
+            Step::Arrive { req, node, at: _ } => {
+                debug_assert_eq!(req, deploy.reqs.len());
+                deploy.reqs.push(Req {
+                    node,
+                    scheduled: deadline,
+                    granted_at: None,
+                    terminal: None,
+                });
+                let idx = (node - 1) as usize;
+                let sent = !deploy.dead[idx]
+                    && deploy.send(idx, &Frame::Acquire { req: req as u64, auto_release: true });
+                if !sent {
+                    // The node is down (or its link is): the request is
+                    // abandoned at injection, as the runtime abandons
+                    // acquires on crashed nodes.
+                    deploy.reqs[req].terminal = Some(false);
+                }
+            }
+            Step::Kill { node, at: _ } => deploy.kill(node)?,
+            Step::Respawn { node, at: _ } => deploy.respawn(node)?,
+        }
+    }
+
+    // Completion: every request terminal (served, or abandoned by a
+    // kill), bounded by the settle timeout.
+    let settle_deadline = Instant::now() + cell.settle_timeout;
+    while deploy.reqs.iter().any(|r| r.terminal.is_none()) && Instant::now() < settle_deadline {
+        deploy.drain_until(Instant::now() + Duration::from_millis(20));
+    }
+    let work_wall = start.elapsed();
+
+    // Settle: all live nodes idle with nothing pending and at most one
+    // token holder.
+    let mut settled = false;
+    while Instant::now() < settle_deadline {
+        if deploy.probe() {
+            settled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let census = deploy.token_census();
+
+    // Graceful stop: flush-and-exit every live process, then reap.
+    for idx in 0..s.n {
+        if !deploy.dead[idx] {
+            deploy.send(idx, &Frame::Shutdown);
+        }
+    }
+    let reap_deadline = Instant::now() + Duration::from_secs(5);
+    for child in deploy.children.iter_mut().flatten() {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < reap_deadline => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+    }
+
+    // Post-hoc judgement: merge all logs, replay the safety oracle,
+    // assemble the liveness horizon.
+    let mut logs = Vec::with_capacity(s.n + 1);
+    for id in 1..=s.n as u32 {
+        logs.push(read_log(&deploy.log_path(id))?);
+    }
+    logs.push(read_log(&orch_log_path)?);
+    let merged = merge(logs);
+    let verdict = replay(&merged, census);
+
+    let abandoned = deploy.reqs.iter().filter(|r| r.terminal != Some(true)).count() as u64;
+    let horizon = Horizon {
+        drained: settled,
+        events: merged.len() as u64,
+        injected: deploy.reqs.len() as u64,
+        served: verdict.served,
+        abandoned,
+        unreachable: 0,
+        live_token_census: census,
+        nodes: (0..s.n)
+            .map(|idx| NodeAtHorizon {
+                node: NodeId::new(idx as u32 + 1),
+                alive: !deploy.dead[idx],
+                idle: deploy.statuses[idx]
+                    .is_some_and(|st| st.idle && st.pending == 0 && !st.in_cs),
+                recovered: deploy.recovered[idx],
+                isolated: false,
+                quorum_blocked: deploy.statuses[idx].is_some_and(|st| st.quorum_blocked),
+            })
+            .collect(),
+    };
+    let liveness = check_horizon(&horizon);
+
+    let mut lat: Vec<u64> = deploy
+        .reqs
+        .iter()
+        .filter(|r| r.terminal == Some(true))
+        .filter_map(|r| {
+            let granted = r.granted_at?;
+            Some(granted.saturating_duration_since(r.scheduled).as_nanos() as u64)
+        })
+        .collect();
+    lat.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let pos = ((lat.len() - 1) as f64 * q).round() as usize;
+        lat[pos] as f64 / 1_000.0
+    };
+
+    let _ = std::fs::remove_dir_all(&workdir);
+
+    let wall_secs = work_wall.as_secs_f64();
+    Ok(NetRow {
+        transport: cell.transport.label(),
+        n: s.n,
+        injected: deploy.reqs.len() as u64,
+        served: verdict.served,
+        abandoned,
+        crashes: deploy.crashes,
+        recoveries: deploy.recoveries,
+        wall_secs,
+        cs_per_sec: if wall_secs > 0.0 { verdict.served as f64 / wall_secs } else { 0.0 },
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+        max_us: quantile(1.0),
+        samples: lat.len() as u64,
+        safety_violations: verdict.safety.violations().len(),
+        liveness_violations: liveness.violations().len(),
+        settled,
+    })
+}
+
+/// The standard E13 battery: clean TCP and UDS cells, plus a UDS cell
+/// with one SIGKILL/restart cycle. `quick` shrinks sizes and request
+/// counts for CI smoke.
+#[must_use]
+pub fn net_battery(quick: bool, seed: u64) -> Vec<NetCell> {
+    use oc_check::netgate::GateKill;
+    let scenario = |n: usize, requests: usize, kill: Option<GateKill>, seed: u64| GateScenario {
+        n,
+        requests,
+        gap_ticks: 20,
+        delta_ticks: 40,
+        cs_ticks: 20,
+        slack_ticks: 20_000,
+        seed,
+        kill,
+    };
+    let settle = Duration::from_secs(30);
+    let (n_small, n_large, requests) = if quick { (16, 16, 200) } else { (16, 64, 600) };
+    vec![
+        NetCell {
+            transport: TransportKind::Tcp,
+            scenario: scenario(n_small, requests, None, seed),
+            settle_timeout: settle,
+        },
+        NetCell {
+            transport: TransportKind::Uds,
+            scenario: scenario(n_small, requests, None, seed.wrapping_add(1)),
+            settle_timeout: settle,
+        },
+        NetCell {
+            transport: TransportKind::Uds,
+            scenario: scenario(n_large, requests, None, seed.wrapping_add(2)),
+            settle_timeout: settle,
+        },
+        NetCell {
+            transport: TransportKind::Uds,
+            scenario: scenario(
+                n_small,
+                requests / 2,
+                Some(GateKill {
+                    node: 3,
+                    at_ticks: 20 * (requests as u64 / 4),
+                    recover_ticks: 20 * (requests as u64 / 4) + 4_000,
+                }),
+                seed.wrapping_add(3),
+            ),
+            settle_timeout: settle,
+        },
+    ]
+}
+
+/// Assembles `BENCH_NET.json` — the socket-deployment analogue of
+/// `BENCH_RT.json`'s envelope.
+#[must_use]
+pub fn net_artifact(seed: u64, quick: bool, rows: &[NetRow]) -> Value {
+    let violations: u64 =
+        rows.iter().map(|r| (r.safety_violations + r.liveness_violations) as u64).sum();
+    Value::Obj(vec![
+        ("schema_version", Value::UInt(1)),
+        ("experiment", Value::str("net")),
+        ("master_seed", Value::UInt(seed)),
+        ("quick", Value::Bool(quick)),
+        ("cells", Value::UInt(rows.len() as u64)),
+        ("violations", Value::UInt(violations)),
+        ("all_settled", Value::Bool(rows.iter().all(|r| r.settled))),
+        ("tick_us", Value::Num(NET_TICK.as_secs_f64() * 1e6)),
+        ("rows", Value::Arr(rows.iter().map(NetRow::to_json).collect())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_shapes_and_artifact_envelope() {
+        let quick = net_battery(true, 9);
+        assert_eq!(quick.len(), 4);
+        assert!(quick.iter().any(|c| c.scenario.kill.is_some()));
+        assert!(quick.iter().any(|c| c.transport == TransportKind::Tcp));
+        let full = net_battery(false, 9);
+        assert!(full.iter().any(|c| c.scenario.n == 64));
+        // Kill cells always spare their victim in the schedule.
+        for cell in quick.iter().chain(full.iter()) {
+            if let Some(k) = cell.scenario.kill {
+                assert!(cell.scenario.schedule().arrivals().iter().all(|(_, v)| v.get() != k.node));
+                assert!(k.recover_ticks > k.at_ticks);
+            }
+        }
+        let row = NetRow {
+            transport: "uds",
+            n: 16,
+            injected: 10,
+            served: 10,
+            abandoned: 0,
+            crashes: 1,
+            recoveries: 1,
+            wall_secs: 1.0,
+            cs_per_sec: 10.0,
+            p50_us: 100.0,
+            p99_us: 900.0,
+            max_us: 1000.0,
+            samples: 10,
+            safety_violations: 0,
+            liveness_violations: 0,
+            settled: true,
+        };
+        assert!(row.clean());
+        assert_eq!(row.outcome().served, 10);
+        let doc = net_artifact(9, true, &[row]);
+        let text = doc.render();
+        crate::json::validate(&text).expect("artifact must validate");
+        assert!(text.contains("\"experiment\":\"net\""));
+        assert!(text.contains("\"transport\":\"uds\""));
+    }
+
+    #[test]
+    fn tcp_base_ports_are_free_and_contiguous() {
+        let base = find_tcp_base(4, 1234).unwrap();
+        assert!(base >= 20_000);
+        for k in 0..4u16 {
+            TcpListener::bind(("127.0.0.1", base + k)).expect("port should be free");
+        }
+    }
+}

@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod netgate;
 mod run;
 mod scenario;
 mod shrink;
 mod threaded;
 
+pub use netgate::{conforms, run_inprocess, GateKill, GateOutcome, GateScenario};
 pub use run::{run_scenario, run_scenario_hardened, run_scenario_with, Outcome};
 pub use scenario::{Scenario, ScenarioCrash, ScenarioPhase, ScenarioPhaseKind, Space};
 pub use shrink::{shrink, ShrinkResult};

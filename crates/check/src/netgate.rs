@@ -1,0 +1,269 @@
+//! The socket-deployment conformance gate: scenario construction and
+//! outcome comparison for differential runs against the in-process
+//! runtime.
+//!
+//! A [`GateScenario`] is plain data in ticks — system size, a seeded
+//! arrival schedule, an optional SIGKILL/restart cycle — that two
+//! substrates consume identically: [`run_inprocess`] plays it through
+//! `oc_runtime::Runtime` (crashes via `FailurePlan`), and `oc-bench`'s
+//! orchestrator plays it through real node processes over sockets
+//! (crashes via SIGKILL), both mapping ticks to wall time through the
+//! same tick duration. Each side reduces to a [`GateOutcome`], and
+//! [`conforms`] pins the differential contract:
+//!
+//! * both substrates' safety and liveness oracles are clean,
+//! * both settled,
+//! * both injected the whole schedule and **served every request** — the
+//!   strongest CS-count equality, robust to the substrates' different
+//!   notions of time (a leased CS in-process, auto-release over the
+//!   socket; either way `served == injected` on both sides or the gate
+//!   fails).
+//!
+//! Kill targeting: the scenario never schedules an arrival *at* the
+//! victim. Requests at other nodes may be outstanding across the kill —
+//! that is the point (the Section 5 machinery must recover the token) —
+//! but a request at the victim itself would race the kill on the socket
+//! substrate (its abandonment is real there, impossible in-tick
+//! in-process), splitting the counts for environmental, not
+//! algorithmic, reasons.
+
+use std::time::Duration;
+
+use oc_algo::{Config, OpenCubeNode};
+use oc_runtime::{Runtime, RuntimeConfig};
+use oc_sim::{ArrivalSchedule, FailurePlan, SimDuration, SimTime};
+use oc_topology::NodeId;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// One SIGKILL/restart cycle, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateKill {
+    /// The victim (never an arrival target).
+    pub node: u32,
+    /// Kill instant, in ticks.
+    pub at_ticks: u64,
+    /// Restart instant, in ticks (must be `> at_ticks`).
+    pub recover_ticks: u64,
+}
+
+/// A differential-conformance scenario, all timing in ticks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateScenario {
+    /// System size (power of two).
+    pub n: usize,
+    /// Arrivals to inject.
+    pub requests: usize,
+    /// Gap between consecutive arrivals, in ticks.
+    pub gap_ticks: u64,
+    /// Protocol δ in ticks.
+    pub delta_ticks: u64,
+    /// CS estimate in ticks.
+    pub cs_ticks: u64,
+    /// Contention slack in ticks.
+    pub slack_ticks: u64,
+    /// Seed for the arrival node choices.
+    pub seed: u64,
+    /// Optional SIGKILL/restart cycle.
+    pub kill: Option<GateKill>,
+}
+
+impl GateScenario {
+    /// The protocol configuration both substrates build nodes from.
+    #[must_use]
+    pub fn config(&self) -> Config {
+        Config::new(
+            self.n,
+            SimDuration::from_ticks(self.delta_ticks),
+            SimDuration::from_ticks(self.cs_ticks),
+        )
+        .with_contention_slack(SimDuration::from_ticks(self.slack_ticks))
+    }
+
+    /// The seeded arrival schedule: uniform over every node *except* the
+    /// kill victim (see the module docs), one arrival per `gap_ticks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim leaves fewer than one eligible node.
+    #[must_use]
+    pub fn schedule(&self) -> ArrivalSchedule {
+        let victim = self.kill.map(|k| k.node);
+        let eligible: Vec<u32> = (1..=self.n as u32).filter(|id| Some(*id) != victim).collect();
+        assert!(!eligible.is_empty(), "no eligible arrival nodes");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut schedule = ArrivalSchedule::new();
+        for k in 0..self.requests {
+            let node = eligible[rng.random_range(0..eligible.len())];
+            let at = (k as u64 + 1) * self.gap_ticks;
+            schedule = schedule.then(SimTime::from_ticks(at), NodeId::new(node));
+        }
+        schedule
+    }
+
+    /// The kill cycle as the in-process substrate's `FailurePlan`.
+    #[must_use]
+    pub fn failure_plan(&self) -> FailurePlan {
+        match self.kill {
+            None => FailurePlan::none(),
+            Some(k) => FailurePlan::none().crash_and_recover(
+                NodeId::new(k.node),
+                SimTime::from_ticks(k.at_ticks),
+                SimTime::from_ticks(k.recover_ticks),
+            ),
+        }
+    }
+}
+
+/// What one substrate's run reduces to for the differential comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateOutcome {
+    /// Requests injected.
+    pub injected: u64,
+    /// Requests served through the critical section.
+    pub served: u64,
+    /// Requests abandoned.
+    pub abandoned: u64,
+    /// Safety-oracle violations.
+    pub safety_violations: usize,
+    /// Liveness-oracle violations.
+    pub liveness_violations: usize,
+    /// The run settled before its timeout.
+    pub settled: bool,
+}
+
+impl GateOutcome {
+    /// Clean: settled with zero oracle violations.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.settled && self.safety_violations == 0 && self.liveness_violations == 0
+    }
+}
+
+/// Plays the scenario through the in-process threaded runtime.
+///
+/// `tick` maps scenario ticks to wall time — pass the *same* value the
+/// socket orchestrator uses so both substrates experience the same
+/// schedule.
+#[must_use]
+pub fn run_inprocess(
+    scenario: &GateScenario,
+    tick: Duration,
+    workers: usize,
+    settle_timeout: Duration,
+) -> GateOutcome {
+    let tick_nanos = u64::try_from(tick.as_nanos()).unwrap_or(u64::MAX);
+    let wall = |t: u64| Duration::from_nanos(tick_nanos.saturating_mul(t));
+    let rt = Runtime::start(
+        RuntimeConfig {
+            workers,
+            tick,
+            max_network_delay: wall(scenario.delta_ticks),
+            cs_duration: wall(scenario.cs_ticks),
+            seed: scenario.seed,
+            ..RuntimeConfig::default()
+        },
+        OpenCubeNode::build_all(scenario.config()),
+    );
+    let _ = rt.schedule_workload(&scenario.schedule());
+    rt.schedule_failures(&scenario.failure_plan());
+    let settled = rt.await_settled(settle_timeout);
+    let report = rt.shutdown();
+    GateOutcome {
+        injected: report.requests_injected,
+        served: report.requests_completed,
+        abandoned: report.requests_abandoned,
+        safety_violations: report.safety.violations().len(),
+        liveness_violations: report.liveness.violations().len(),
+        settled,
+    }
+}
+
+/// The differential contract (see the module docs).
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn conforms(inprocess: &GateOutcome, socket: &GateOutcome) -> Result<(), String> {
+    if !inprocess.clean() {
+        return Err(format!("in-process run not clean: {inprocess:?}"));
+    }
+    if !socket.clean() {
+        return Err(format!("socket run not clean: {socket:?}"));
+    }
+    if inprocess.injected != socket.injected {
+        return Err(format!(
+            "injected diverged: in-process {} vs socket {}",
+            inprocess.injected, socket.injected
+        ));
+    }
+    if inprocess.served != socket.served {
+        return Err(format!(
+            "served diverged: in-process {} vs socket {}",
+            inprocess.served, socket.served
+        ));
+    }
+    if inprocess.served != inprocess.injected {
+        return Err(format!(
+            "requests starved on both substrates: served {} of {}",
+            inprocess.served, inprocess.injected
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(kill: Option<GateKill>) -> GateScenario {
+        GateScenario {
+            n: 16,
+            requests: 20,
+            gap_ticks: 100,
+            delta_ticks: 40,
+            cs_ticks: 20,
+            slack_ticks: 20_000,
+            seed: 7,
+            kill,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_avoids_the_victim() {
+        let s = scenario(Some(GateKill { node: 5, at_ticks: 1_000, recover_ticks: 2_000 }));
+        let a = s.schedule();
+        let b = s.schedule();
+        assert_eq!(a.arrivals(), b.arrivals());
+        assert_eq!(a.len(), 20);
+        assert!(a.arrivals().iter().all(|(_, node)| node.get() != 5));
+        assert_eq!(s.failure_plan().crash_count(), 1);
+    }
+
+    #[test]
+    fn inprocess_gate_run_is_clean_and_serves_everything() {
+        let s = scenario(None);
+        let outcome = run_inprocess(&s, Duration::from_micros(20), 2, Duration::from_secs(30));
+        assert!(outcome.clean(), "{outcome:?}");
+        assert_eq!(outcome.injected, 20);
+        assert_eq!(outcome.served, 20);
+        conforms(&outcome, &outcome).expect("an outcome conforms to itself");
+    }
+
+    #[test]
+    fn conformance_rejects_divergence() {
+        let good = GateOutcome {
+            injected: 10,
+            served: 10,
+            abandoned: 0,
+            safety_violations: 0,
+            liveness_violations: 0,
+            settled: true,
+        };
+        let starved = GateOutcome { served: 9, abandoned: 1, ..good };
+        assert!(conforms(&good, &good).is_ok());
+        assert!(conforms(&good, &starved).unwrap_err().contains("served diverged"));
+        let dirty = GateOutcome { safety_violations: 1, ..good };
+        assert!(conforms(&dirty, &good).unwrap_err().contains("in-process"));
+        assert!(conforms(&good, &dirty).unwrap_err().contains("socket"));
+    }
+}

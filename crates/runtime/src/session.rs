@@ -96,7 +96,10 @@ struct SessionInner {
     /// The request currently inside the CS per node, if any.
     current: Vec<Option<u64>>,
     /// Registered completion channels, indexed by `RequestSlot::watcher`.
-    watchers: Vec<Sender<Completion>>,
+    /// `None` marks a watcher whose receiver hung up: the slot is pruned
+    /// on the first failed send (the index stays reserved so later
+    /// registrations keep their identities) and never sent to again.
+    watchers: Vec<Option<Sender<Completion>>>,
     histogram: LatencyHistogram,
 }
 
@@ -104,13 +107,27 @@ impl SessionInner {
     /// Fires the slot's completion notification, if a watcher is
     /// registered. Call only after a *terminal* transition — each slot
     /// notifies at most once because terminal states never transition
-    /// again. A disconnected watcher is ignored (the client left).
-    fn notify(&self, id: u64) {
+    /// again. A disconnected watcher is pruned: its sender is dropped on
+    /// the first failed send, so a departed client's channel does not
+    /// keep accumulating (and silently failing) terminal notifications
+    /// for the rest of the runtime's life.
+    fn notify(&mut self, id: u64) {
         let slot = &self.slots[id as usize];
         debug_assert!(slot.status.is_terminal());
-        if let Some(w) = slot.watcher {
-            let _ = self.watchers[w as usize].send((RequestId(id), slot.status));
+        let Some(w) = slot.watcher else { return };
+        let status = slot.status;
+        if let Some(tx) = &self.watchers[w as usize] {
+            if tx.send((RequestId(id), status)).is_err() {
+                self.watchers[w as usize] = None;
+            }
         }
+    }
+
+    /// Watchers whose receiver is still connected (or has never been
+    /// sent to since it hung up) — observability for the prune.
+    #[cfg(test)]
+    fn live_watchers(&self) -> usize {
+        self.watchers.iter().filter(|w| w.is_some()).count()
     }
 }
 
@@ -132,8 +149,14 @@ impl SessionTable {
         }
     }
 
+    /// Locks the table, recovering from poison: the table's invariants
+    /// are per-slot and every verdict that matters is re-checked by the
+    /// oracles at shutdown, so a worker that panicked while holding the
+    /// guard must not cascade into panics in every client thread and the
+    /// gateway — they read whatever state the panicking writer left,
+    /// which is no worse than what any concurrent reader could see.
     fn lock(&self) -> std::sync::MutexGuard<'_, SessionInner> {
-        self.inner.lock().expect("session table poisoned")
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Registers a completion channel; terminal transitions of slots
@@ -142,7 +165,7 @@ impl SessionTable {
         let (tx, rx) = unbounded();
         let mut inner = self.lock();
         let idx = inner.watchers.len() as u32;
-        inner.watchers.push(tx);
+        inner.watchers.push(Some(tx));
         (idx, rx)
     }
 
@@ -478,6 +501,59 @@ mod tests {
             ]
         );
         let _ = unwatched;
+    }
+
+    #[test]
+    fn dropped_watcher_is_pruned_on_first_failed_send() {
+        // Regression: `register_watcher` pushed senders that were never
+        // pruned — a dropped `Watcher` left a dead sender that was
+        // re-sent (its error silently ignored) on every terminal
+        // transition forever. The first failed send must retire it.
+        let t = table();
+        let (w, rx) = t.register_watcher();
+        let (live_w, live_rx) = t.register_watcher();
+        assert_eq!(t.lock().live_watchers(), 2);
+        let first = t.open(NodeId::new(1), Instant::now(), false, Some(w));
+        drop(rx);
+        // The client left; the first terminal transition hits the dead
+        // channel and prunes the sender.
+        assert!(t.abandon(first));
+        assert_eq!(t.lock().live_watchers(), 1);
+        assert!(t.lock().watchers[w as usize].is_none());
+        // Churn: hundreds of further terminal transitions against the
+        // dead watcher id stay pruned (no resurrection, no panic), and a
+        // live watcher keeps its identity and its notifications.
+        for i in 0..300 {
+            let id = t.open(NodeId::new(1 + (i % 4)), Instant::now(), false, Some(w));
+            t.abandon(id);
+        }
+        assert_eq!(t.lock().live_watchers(), 1);
+        let watched = t.open(NodeId::new(2), Instant::now(), false, Some(live_w));
+        t.abandon(watched);
+        assert_eq!(live_rx.try_recv().ok(), Some((watched, RequestStatus::Abandoned)));
+    }
+
+    #[test]
+    fn poisoned_table_still_answers_status() {
+        // Regression: `lock()` used `expect("session table poisoned")`,
+        // so one panicking worker cascaded into panics in every client
+        // thread. The guard is recovered via `PoisonError::into_inner`;
+        // the table's invariants are per-slot and re-checked by the
+        // oracles, so readers keep working.
+        let t = std::sync::Arc::new(table());
+        let id = open(&t, 3);
+        let poisoner = std::sync::Arc::clone(&t);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("worker dies holding the session lock");
+        })
+        .join();
+        assert!(t.inner.lock().is_err(), "the mutex must actually be poisoned");
+        assert_eq!(t.status(id), Some(RequestStatus::Pending));
+        // Mutation through the recovered guard still works too.
+        t.activate(id);
+        assert!(t.grant(NodeId::new(3), Instant::now()).is_some());
+        assert_eq!(t.status(id), Some(RequestStatus::Granted));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every frame is `len: u32 LE` followed by exactly `len` payload bytes.
+//! The length prefix is the *only* synchronization the stream has, which
+//! is exactly the property the codec robustness tests pin: a frame whose
+//! payload fails to decode (garbage, truncated message, unknown tag) is
+//! consumed whole — the reader stays aligned on the next length prefix
+//! and the following frame parses normally. No payload error can desync
+//! the stream; only a short read (peer died mid-frame) ends it.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame's payload, far above any legitimate message
+/// (the largest protocol frame is tens of bytes). A length prefix beyond
+/// this is a corrupt or hostile stream and is rejected before any
+/// allocation of that size happens.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Writes one frame: length prefix plus payload, then flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying stream's I/O errors; rejects payloads over
+/// [`MAX_FRAME`] with `InvalidInput` (nothing is written in that case).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME"));
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed between frames).
+///
+/// # Errors
+///
+/// `UnexpectedEof` if the stream dies mid-frame, `InvalidData` for a
+/// length prefix over [`MAX_FRAME`], and any underlying I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before the first length byte is a graceful close; an
+    // EOF after it is a torn frame.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a length prefix",
+                ));
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds MAX_FRAME"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0u8; 300]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().len(), 300);
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none_mid_frame_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"whole").unwrap();
+        // Cut inside the second frame's payload.
+        write_frame(&mut buf, b"torn!").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = Cursor::new(buf);
+        assert!(read_frame(&mut r).unwrap().is_some());
+        assert_eq!(read_frame(&mut r).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+        // Cut inside a length prefix.
+        let mut r = Cursor::new(vec![7u8, 0]);
+        assert_eq!(read_frame(&mut r).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 16]);
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        let mut sink = Vec::new();
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert_eq!(write_frame(&mut sink, &huge).unwrap_err().kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "a rejected frame must not be partially written");
+    }
+}

@@ -1,0 +1,286 @@
+//! Socket plumbing: one abstraction over TCP and Unix-domain streams,
+//! and the cluster's endpoint map.
+//!
+//! Both transports expose the identical blocking byte-stream contract
+//! ([`Stream`]: `Read + Write` + `try_clone`), so everything above this
+//! module — framing, the wire protocol, the node process — is transport
+//! agnostic. A deployment is described by a [`Cluster`]: node `i`
+//! listens at a deterministic function of the cluster spec (`base_port +
+//! i - 1` for TCP, `dir/node-<i>.sock` for UDS), so processes need only
+//! the spec string and their own id to find every peer.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// Where one node listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:4500`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl Endpoint {
+    /// Dials the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error (`ConnectionRefused` while the
+    /// listener is down — the caller's signal that the peer is dead).
+    pub fn connect(&self) -> io::Result<Stream> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                // The wire is small frames wanting low latency, not
+                // bandwidth; never batch them behind Nagle.
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            Endpoint::Uds(path) => Ok(Stream::Uds(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// Binds a listener at the endpoint. For UDS a stale socket file
+    /// from a SIGKILLed predecessor is removed first — rebinding after a
+    /// kill is the deployment's recovery path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(&self) -> io::Result<Listener> {
+        match self {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            Endpoint::Uds(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Uds(UnixListener::bind(path)?))
+            }
+        }
+    }
+}
+
+/// A bound listener, either transport.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP.
+    Tcp(TcpListener),
+    /// Unix-domain.
+    Uds(UnixListener),
+}
+
+impl Listener {
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the accept error.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            Listener::Uds(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Uds(s))
+            }
+        }
+    }
+}
+
+/// A connected byte stream, either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP.
+    Tcp(TcpStream),
+    /// Unix-domain.
+    Uds(UnixStream),
+}
+
+impl Stream {
+    /// A second handle to the same connection (reader/writer split).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `try_clone` error.
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+            Stream::Uds(s) => Ok(Stream::Uds(s.try_clone()?)),
+        }
+    }
+
+    /// Closes both directions; pending reads on clones return EOF.
+    pub fn shutdown(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// The deployment's endpoint map: how every process, given only the
+/// spec string and an id, locates every node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Number of nodes.
+    pub n: usize,
+    kind: ClusterKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ClusterKind {
+    Tcp { host: String, base_port: u16 },
+    Uds { dir: PathBuf },
+}
+
+impl Cluster {
+    /// A TCP cluster: node `i` listens at `host:(base_port + i - 1)`.
+    #[must_use]
+    pub fn tcp(host: &str, base_port: u16, n: usize) -> Self {
+        Cluster { n, kind: ClusterKind::Tcp { host: host.to_owned(), base_port } }
+    }
+
+    /// A UDS cluster: node `i` listens at `dir/node-<i>.sock`.
+    #[must_use]
+    pub fn uds(dir: PathBuf, n: usize) -> Self {
+        Cluster { n, kind: ClusterKind::Uds { dir } }
+    }
+
+    /// Parses a spec string: `tcp:<host>:<base_port>` or `uds:<dir>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation.
+    pub fn parse(spec: &str, n: usize) -> Result<Self, String> {
+        if let Some(rest) = spec.strip_prefix("tcp:") {
+            let (host, port) =
+                rest.rsplit_once(':').ok_or_else(|| format!("tcp spec without port: {spec}"))?;
+            let base_port: u16 =
+                port.parse().map_err(|_| format!("bad base port in spec: {spec}"))?;
+            Ok(Cluster::tcp(host, base_port, n))
+        } else if let Some(dir) = spec.strip_prefix("uds:") {
+            Ok(Cluster::uds(PathBuf::from(dir), n))
+        } else {
+            Err(format!("spec must start with tcp: or uds:, got {spec}"))
+        }
+    }
+
+    /// The spec string [`Cluster::parse`] reverses — what the
+    /// orchestrator passes to each `oc-node` child.
+    #[must_use]
+    pub fn spec(&self) -> String {
+        match &self.kind {
+            ClusterKind::Tcp { host, base_port } => format!("tcp:{host}:{base_port}"),
+            ClusterKind::Uds { dir } => format!("uds:{}", dir.display()),
+        }
+    }
+
+    /// Node `id`'s endpoint (1-based id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn endpoint(&self, id: u32) -> Endpoint {
+        assert!(id >= 1 && id as usize <= self.n, "node {id} out of 1..={}", self.n);
+        match &self.kind {
+            ClusterKind::Tcp { host, base_port } => {
+                Endpoint::Tcp(format!("{host}:{}", base_port + (id - 1) as u16))
+            }
+            ClusterKind::Uds { dir } => Endpoint::Uds(dir.join(format!("node-{id}.sock"))),
+        }
+    }
+}
+
+impl fmt::Display for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (n={})", self.spec(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_and_maps_endpoints() {
+        let tcp = Cluster::parse("tcp:127.0.0.1:4500", 4).unwrap();
+        assert_eq!(tcp.spec(), "tcp:127.0.0.1:4500");
+        assert_eq!(tcp.endpoint(1), Endpoint::Tcp("127.0.0.1:4500".into()));
+        assert_eq!(tcp.endpoint(4), Endpoint::Tcp("127.0.0.1:4503".into()));
+
+        let uds = Cluster::parse("uds:/tmp/occ", 2).unwrap();
+        assert_eq!(uds.spec(), "uds:/tmp/occ");
+        assert_eq!(uds.endpoint(2), Endpoint::Uds(PathBuf::from("/tmp/occ/node-2.sock")));
+
+        assert!(Cluster::parse("quic:nope", 2).is_err());
+        assert!(Cluster::parse("tcp:nohost", 2).is_err());
+    }
+
+    #[test]
+    fn uds_streams_carry_frames_both_ways() {
+        let dir = std::env::temp_dir().join(format!("oc-net-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cluster = Cluster::uds(dir.clone(), 1);
+        let listener = cluster.endpoint(1).bind().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let got = crate::frame::read_frame(&mut conn).unwrap().unwrap();
+            crate::frame::write_frame(&mut conn, &got).unwrap();
+        });
+        let mut client = cluster.endpoint(1).connect().unwrap();
+        crate::frame::write_frame(&mut client, b"ping").unwrap();
+        assert_eq!(crate::frame::read_frame(&mut client).unwrap().as_deref(), Some(&b"ping"[..]));
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tcp_streams_carry_frames_both_ways() {
+        // Bind port 0 to let the OS pick, then build a cluster around it.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = probe.local_addr().unwrap().port();
+        drop(probe);
+        let cluster = Cluster::tcp("127.0.0.1", port, 1);
+        let listener = cluster.endpoint(1).bind().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let got = crate::frame::read_frame(&mut conn).unwrap().unwrap();
+            crate::frame::write_frame(&mut conn, &got).unwrap();
+        });
+        let mut client = cluster.endpoint(1).connect().unwrap();
+        crate::frame::write_frame(&mut client, b"pong").unwrap();
+        assert_eq!(crate::frame::read_frame(&mut client).unwrap().as_deref(), Some(&b"pong"[..]));
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,390 @@
+//! The control-plane wire protocol spoken inside a frame payload.
+//!
+//! Three conversations share the framing layer:
+//!
+//! * **peer↔peer** — [`Frame::Hello`] identifies the dialer, then
+//!   [`Frame::Peer`] carries protocol messages: the sender's id, the lock
+//!   namespace, the sender's HLC stamp, and the [`Msg`] in the exact
+//!   byte-for-byte `oc_algo::codec` encoding (legacy 0x01/0x02 tags and
+//!   the hardened 0x08–0x0B mint tags included) — the transport adds an
+//!   envelope, it never re-encodes the protocol surface;
+//! * **gateway→node** — [`Frame::ClientHello`], then the session API:
+//!   [`Frame::Acquire`] / [`Frame::Release`] with request ids, answered
+//!   by [`Frame::Granted`] and terminal [`Frame::Completion`]s — the
+//!   socket twin of `oc_runtime::Runtime::acquire_watched` and its
+//!   watcher completions;
+//! * **orchestrator control** — [`Frame::StatusQuery`] /
+//!   [`Frame::Status`] for settle-polling and the terminal token census,
+//!   [`Frame::Shutdown`] for a graceful stop.
+//!
+//! Layout: `tag: u8`, then fields in order, integers little-endian —
+//! the same conventions as `oc_algo::codec`, and the same error posture:
+//! decoding is total (no panic on any input) and trailing bytes are
+//! rejected, so a frame has exactly one meaning or none.
+
+use oc_algo::codec::{self, DecodeError};
+use oc_algo::Msg;
+
+use crate::hlc::Stamp;
+
+/// Error decoding a control-plane frame payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the frame did.
+    Truncated,
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// A field held an invalid value.
+    BadField(&'static str),
+    /// The embedded protocol message failed to decode.
+    Msg(DecodeError),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            WireError::BadField(name) => write!(f, "invalid value for frame field {name}"),
+            WireError::Msg(e) => write!(f, "embedded message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Terminal state of a session request, on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionStatus {
+    /// The critical section completed.
+    Completed,
+    /// Never served: the node crashed or shut down first.
+    Abandoned,
+}
+
+/// A node's control-plane snapshot, answered to [`Frame::StatusQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStatus {
+    /// The node currently holds the token.
+    pub holds_token: bool,
+    /// Epoch of the held token (0 outside hardened modes).
+    pub token_epoch: u64,
+    /// The node is inside its critical section.
+    pub in_cs: bool,
+    /// `Protocol::is_idle` — nothing pending at the node.
+    pub idle: bool,
+    /// `Protocol::quorum_blocked` — wants to mint but lacks a majority.
+    pub quorum_blocked: bool,
+    /// Critical sections completed by this incarnation.
+    pub cs_entries: u64,
+    /// Session requests not yet terminal at the node.
+    pub pending: u32,
+}
+
+/// One control-plane frame payload. See the module docs for the roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Peer handshake: the dialing node identifies itself.
+    Hello {
+        /// The dialer's 1-based protocol node id.
+        node: u32,
+    },
+    /// Client handshake: the connection carries the session API.
+    ClientHello,
+    /// A protocol message between nodes.
+    Peer {
+        /// Sender's 1-based protocol node id.
+        from: u32,
+        /// Lock namespace the message belongs to (single-tenant
+        /// deployments use 0; the field keeps the envelope stable when
+        /// multi-tenant clusters arrive).
+        ns: u32,
+        /// The sender's HLC stamp at the send.
+        stamp: Stamp,
+        /// The protocol message, in its canonical `oc_algo::codec` bytes.
+        msg: Msg,
+    },
+    /// Client: open a lock request.
+    Acquire {
+        /// Client-chosen request id, unique per connection.
+        req: u64,
+        /// Exit the CS immediately after entry (closed-loop clients).
+        auto_release: bool,
+    },
+    /// Client: release a granted request early.
+    Release {
+        /// The request to release.
+        req: u64,
+    },
+    /// Node→client: the request entered the critical section.
+    Granted {
+        /// The granted request.
+        req: u64,
+    },
+    /// Node→client: the request reached a terminal state.
+    Completion {
+        /// The finished request.
+        req: u64,
+        /// Its terminal status.
+        status: CompletionStatus,
+    },
+    /// Orchestrator: request a [`Frame::Status`] snapshot.
+    StatusQuery,
+    /// Node→orchestrator: the snapshot.
+    Status(NodeStatus),
+    /// Orchestrator: flush logs and exit cleanly.
+    Shutdown,
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_CLIENT_HELLO: u8 = 0x02;
+const TAG_PEER: u8 = 0x03;
+const TAG_ACQUIRE: u8 = 0x04;
+const TAG_RELEASE: u8 = 0x05;
+const TAG_GRANTED: u8 = 0x06;
+const TAG_COMPLETION: u8 = 0x07;
+const TAG_STATUS_QUERY: u8 = 0x08;
+const TAG_STATUS: u8 = 0x09;
+const TAG_SHUTDOWN: u8 = 0x0A;
+
+/// Encodes a frame payload (the framing layer adds the length prefix).
+#[must_use]
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40);
+    match frame {
+        Frame::Hello { node } => {
+            out.push(TAG_HELLO);
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        Frame::ClientHello => out.push(TAG_CLIENT_HELLO),
+        Frame::Peer { from, ns, stamp, msg } => {
+            out.push(TAG_PEER);
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&ns.to_le_bytes());
+            stamp.encode_into(&mut out);
+            // The protocol message is the final field: its canonical
+            // codec bytes, verbatim (self-delimiting by construction).
+            out.extend_from_slice(&codec::encode(msg));
+        }
+        Frame::Acquire { req, auto_release } => {
+            out.push(TAG_ACQUIRE);
+            out.extend_from_slice(&req.to_le_bytes());
+            out.push(u8::from(*auto_release));
+        }
+        Frame::Release { req } => {
+            out.push(TAG_RELEASE);
+            out.extend_from_slice(&req.to_le_bytes());
+        }
+        Frame::Granted { req } => {
+            out.push(TAG_GRANTED);
+            out.extend_from_slice(&req.to_le_bytes());
+        }
+        Frame::Completion { req, status } => {
+            out.push(TAG_COMPLETION);
+            out.extend_from_slice(&req.to_le_bytes());
+            out.push(match status {
+                CompletionStatus::Completed => 0,
+                CompletionStatus::Abandoned => 1,
+            });
+        }
+        Frame::StatusQuery => out.push(TAG_STATUS_QUERY),
+        Frame::Status(s) => {
+            out.push(TAG_STATUS);
+            out.push(u8::from(s.holds_token));
+            out.extend_from_slice(&s.token_epoch.to_le_bytes());
+            out.push(u8::from(s.in_cs));
+            out.push(u8::from(s.idle));
+            out.push(u8::from(s.quorum_blocked));
+            out.extend_from_slice(&s.cs_entries.to_le_bytes());
+            out.extend_from_slice(&s.pending.to_le_bytes());
+        }
+        Frame::Shutdown => out.push(TAG_SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes one frame payload.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for truncated payloads, unknown tags, invalid
+/// field values, embedded-message codec errors, or trailing bytes. Never
+/// panics on any input.
+pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+    let mut buf = bytes;
+    let frame = decode_inner(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(WireError::BadField("trailing"));
+    }
+    Ok(frame)
+}
+
+fn decode_inner(buf: &mut &[u8]) -> Result<Frame, WireError> {
+    let tag = take_u8(buf)?;
+    match tag {
+        TAG_HELLO => Ok(Frame::Hello { node: take_u32(buf)? }),
+        TAG_CLIENT_HELLO => Ok(Frame::ClientHello),
+        TAG_PEER => {
+            let from = take_u32(buf)?;
+            let ns = take_u32(buf)?;
+            let stamp = take_stamp(buf)?;
+            let msg = codec::decode(buf).map_err(WireError::Msg)?;
+            *buf = &[];
+            Ok(Frame::Peer { from, ns, stamp, msg })
+        }
+        TAG_ACQUIRE => {
+            let req = take_u64(buf)?;
+            let auto_release = take_bool(buf, "auto_release")?;
+            Ok(Frame::Acquire { req, auto_release })
+        }
+        TAG_RELEASE => Ok(Frame::Release { req: take_u64(buf)? }),
+        TAG_GRANTED => Ok(Frame::Granted { req: take_u64(buf)? }),
+        TAG_COMPLETION => {
+            let req = take_u64(buf)?;
+            let status = match take_u8(buf)? {
+                0 => CompletionStatus::Completed,
+                1 => CompletionStatus::Abandoned,
+                _ => return Err(WireError::BadField("status")),
+            };
+            Ok(Frame::Completion { req, status })
+        }
+        TAG_STATUS_QUERY => Ok(Frame::StatusQuery),
+        TAG_STATUS => Ok(Frame::Status(NodeStatus {
+            holds_token: take_bool(buf, "holds_token")?,
+            token_epoch: take_u64(buf)?,
+            in_cs: take_bool(buf, "in_cs")?,
+            idle: take_bool(buf, "idle")?,
+            quorum_blocked: take_bool(buf, "quorum_blocked")?,
+            cs_entries: take_u64(buf)?,
+            pending: take_u32(buf)?,
+        })),
+        TAG_SHUTDOWN => Ok(Frame::Shutdown),
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    let (&first, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+    *buf = rest;
+    Ok(first)
+}
+
+fn take_bool(buf: &mut &[u8], field: &'static str) -> Result<bool, WireError> {
+    match take_u8(buf)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::BadField(field)),
+    }
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
+fn take_stamp(buf: &mut &[u8]) -> Result<Stamp, WireError> {
+    if buf.len() < Stamp::WIRE_LEN {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(Stamp::WIRE_LEN);
+    *buf = rest;
+    Ok(Stamp::decode(head.try_into().expect("16 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oc_topology::NodeId;
+
+    fn round_trip(frame: Frame) {
+        let bytes = encode(&frame);
+        assert_eq!(decode(&bytes).expect("decode"), frame);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Frame::Hello { node: 7 });
+        round_trip(Frame::ClientHello);
+        round_trip(Frame::Peer {
+            from: 3,
+            ns: 0,
+            stamp: Stamp { wall_ns: 123, logical: 4, node: 3 },
+            msg: Msg::Token { lender: Some(NodeId::new(5)), epoch: 0 },
+        });
+        round_trip(Frame::Peer {
+            from: 9,
+            ns: 2,
+            stamp: Stamp { wall_ns: u64::MAX, logical: u32::MAX, node: 9 },
+            msg: Msg::MintAck { epoch: 11, granted: true },
+        });
+        round_trip(Frame::Acquire { req: 42, auto_release: true });
+        round_trip(Frame::Release { req: 42 });
+        round_trip(Frame::Granted { req: 1 });
+        round_trip(Frame::Completion { req: 2, status: CompletionStatus::Completed });
+        round_trip(Frame::Completion { req: 3, status: CompletionStatus::Abandoned });
+        round_trip(Frame::StatusQuery);
+        round_trip(Frame::Status(NodeStatus {
+            holds_token: true,
+            token_epoch: 5,
+            in_cs: false,
+            idle: true,
+            quorum_blocked: false,
+            cs_entries: 77,
+            pending: 2,
+        }));
+        round_trip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn peer_envelope_embeds_the_canonical_codec_bytes() {
+        // The transport must not re-encode the protocol surface: the
+        // embedded bytes are exactly `oc_algo::codec::encode`'s output —
+        // legacy epoch-0 tags byte for byte.
+        let msg = Msg::Token { lender: None, epoch: 0 };
+        let frame = Frame::Peer {
+            from: 1,
+            ns: 0,
+            stamp: Stamp { wall_ns: 0, logical: 0, node: 1 },
+            msg: msg.clone(),
+        };
+        let bytes = encode(&frame);
+        let embedded = &bytes[1 + 4 + 4 + Stamp::WIRE_LEN..];
+        assert_eq!(embedded, &codec::encode(&msg)[..]);
+        assert_eq!(embedded, &[0x02, 0x00]);
+    }
+
+    #[test]
+    fn garbage_is_rejected_without_panic() {
+        assert_eq!(decode(&[]).unwrap_err(), WireError::Truncated);
+        assert_eq!(decode(&[0xEE]).unwrap_err(), WireError::BadTag(0xEE));
+        let mut bad = encode(&Frame::Acquire { req: 1, auto_release: false });
+        *bad.last_mut().unwrap() = 9;
+        assert_eq!(decode(&bad).unwrap_err(), WireError::BadField("auto_release"));
+        let mut trailing = encode(&Frame::Shutdown);
+        trailing.push(0);
+        assert_eq!(decode(&trailing).unwrap_err(), WireError::BadField("trailing"));
+        // A Peer frame whose embedded message is corrupt surfaces the
+        // codec's structured error.
+        let good = encode(&Frame::Peer {
+            from: 1,
+            ns: 0,
+            stamp: Stamp { wall_ns: 0, logical: 0, node: 1 },
+            msg: Msg::Anomaly,
+        });
+        let torn = &good[..good.len() - 1];
+        assert_eq!(decode(torn).unwrap_err(), WireError::Msg(DecodeError::Truncated));
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the transport wire surface (ISSUE 9 satellite):
+//!
+//! * every [`Frame`] — including `Peer` envelopes over every `Msg`
+//!   variant × namespace × epoch (epoch 0 must take the legacy
+//!   0x01/0x02 codec tags, nonzero epochs the 0x08–0x0B hardened tags)
+//!   — round-trips byte-exactly through encode/decode;
+//! * the `Peer` envelope embeds `oc_algo::codec::encode`'s bytes
+//!   verbatim as its final field;
+//! * truncated payloads and arbitrary garbage are rejected with a
+//!   structured error, never a panic;
+//! * a corrupt frame payload cannot desync the stream: the next
+//!   length-prefixed frame still reads and decodes cleanly.
+
+use std::io::Cursor;
+
+use oc_algo::codec;
+use oc_algo::{AnswerKind, EnquiryStatus, Msg};
+use oc_topology::NodeId;
+use oc_transport::frame::{read_frame, write_frame};
+use oc_transport::wire::{decode, encode, CompletionStatus, Frame, NodeStatus};
+use oc_transport::Stamp;
+use proptest::prelude::*;
+
+fn node_id() -> impl Strategy<Value = NodeId> {
+    (1u32..=1 << 24).prop_map(NodeId::new)
+}
+
+/// Epochs with the legacy boundary well represented: half the draws are
+/// the epoch-0 legacy encoding.
+fn epoch() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), 1u64..=u64::MAX]
+}
+
+fn msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (node_id(), node_id(), any::<u32>(), epoch()).prop_map(
+            |(claimant, source, source_seq, epoch)| Msg::Request {
+                claimant,
+                source,
+                source_seq,
+                epoch
+            }
+        ),
+        (proptest::option::of(node_id()), epoch())
+            .prop_map(|(lender, epoch)| Msg::Token { lender, epoch }),
+        any::<u32>().prop_map(|source_seq| Msg::Enquiry { source_seq }),
+        (
+            any::<u32>(),
+            prop_oneof![
+                Just(EnquiryStatus::StillInCs),
+                Just(EnquiryStatus::TokenReturned),
+                Just(EnquiryStatus::TokenLost),
+            ]
+        )
+            .prop_map(|(source_seq, status)| Msg::EnquiryReply { source_seq, status }),
+        any::<u32>().prop_map(|d| Msg::Test { d }),
+        (prop_oneof![Just(AnswerKind::Ok), Just(AnswerKind::TryLater)], any::<u32>())
+            .prop_map(|(kind, d)| Msg::Answer { kind, d }),
+        Just(Msg::Anomaly),
+        // Mint ballots are nonzero by construction: epoch 0 has no
+        // canonical encoding outside the legacy Request/Token tags.
+        (1u64..=u64::MAX).prop_map(|epoch| Msg::MintRequest { epoch }),
+        (1u64..=u64::MAX, any::<bool>())
+            .prop_map(|(epoch, granted)| Msg::MintAck { epoch, granted }),
+    ]
+}
+
+fn stamp() -> impl Strategy<Value = Stamp> {
+    (any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(wall_ns, logical, node)| Stamp {
+        wall_ns,
+        logical,
+        node,
+    })
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        any::<u32>().prop_map(|node| Frame::Hello { node }),
+        Just(Frame::ClientHello),
+        (any::<u32>(), any::<u32>(), stamp(), msg())
+            .prop_map(|(from, ns, stamp, msg)| Frame::Peer { from, ns, stamp, msg }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(req, auto_release)| Frame::Acquire { req, auto_release }),
+        any::<u64>().prop_map(|req| Frame::Release { req }),
+        any::<u64>().prop_map(|req| Frame::Granted { req }),
+        (
+            any::<u64>(),
+            prop_oneof![Just(CompletionStatus::Completed), Just(CompletionStatus::Abandoned)]
+        )
+            .prop_map(|(req, status)| Frame::Completion { req, status }),
+        Just(Frame::StatusQuery),
+        (
+            (any::<bool>(), any::<u64>(), any::<bool>()),
+            (any::<bool>(), any::<bool>(), any::<u64>(), any::<u32>())
+        )
+            .prop_map(
+                |(
+                    (holds_token, token_epoch, in_cs),
+                    (idle, quorum_blocked, cs_entries, pending),
+                )| {
+                    Frame::Status(NodeStatus {
+                        holds_token,
+                        token_epoch,
+                        in_cs,
+                        idle,
+                        quorum_blocked,
+                        cs_entries,
+                        pending,
+                    })
+                }
+            ),
+        Just(Frame::Shutdown),
+    ]
+}
+
+proptest! {
+    /// Every frame round-trips byte-exactly.
+    #[test]
+    fn every_frame_round_trips(f in frame()) {
+        let bytes = encode(&f);
+        prop_assert_eq!(decode(&bytes).expect("well-formed frame decodes"), f);
+    }
+
+    /// Peer envelopes end in `oc_algo::codec::encode`'s bytes verbatim,
+    /// with epoch 0 taking the legacy 0x01/0x02 tags on the wire.
+    #[test]
+    fn peer_embeds_canonical_codec_bytes(
+        from in any::<u32>(),
+        ns in any::<u32>(),
+        st in stamp(),
+        m in msg(),
+    ) {
+        let bytes = encode(&Frame::Peer { from, ns, stamp: st, msg: m.clone() });
+        let header = 1 + 4 + 4 + Stamp::WIRE_LEN;
+        let canonical = codec::encode(&m);
+        prop_assert_eq!(&bytes[header..], &canonical[..]);
+        match &m {
+            Msg::Request { epoch: 0, .. } => prop_assert_eq!(bytes[header], 0x01),
+            Msg::Token { epoch: 0, .. } => prop_assert_eq!(bytes[header], 0x02),
+            Msg::Request { .. } => prop_assert_eq!(bytes[header], 0x08),
+            Msg::Token { .. } => prop_assert_eq!(bytes[header], 0x09),
+            Msg::MintRequest { .. } => prop_assert_eq!(bytes[header], 0x0A),
+            Msg::MintAck { .. } => prop_assert_eq!(bytes[header], 0x0B),
+            _ => {}
+        }
+    }
+
+    /// Every strict prefix of a well-formed payload is rejected (all
+    /// fields are fixed-length and required), and the error is a value,
+    /// not a panic.
+    #[test]
+    fn truncation_is_rejected(f in frame(), cut in 1usize..64) {
+        let bytes = encode(&f);
+        let keep = bytes.len().saturating_sub(cut);
+        prop_assert!(decode(&bytes[..keep]).is_err());
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&payload);
+    }
+
+    /// A corrupt frame payload cannot desync the stream: the framing
+    /// layer still delivers the *next* frame intact, and it decodes.
+    #[test]
+    fn corrupt_frame_does_not_desync_the_next(
+        garbage in proptest::collection::vec(any::<u8>(), 1..128),
+        f in frame(),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &garbage).expect("framing accepts any payload");
+        write_frame(&mut buf, &encode(&f)).expect("framing accepts the frame");
+        let mut cursor = Cursor::new(buf);
+        let first = read_frame(&mut cursor).expect("framed read").expect("present");
+        prop_assert_eq!(&first, &garbage); // delivered, possibly undecodable
+        let second = read_frame(&mut cursor).expect("framed read").expect("present");
+        prop_assert_eq!(decode(&second).expect("second frame decodes"), f);
+        prop_assert!(read_frame(&mut cursor).expect("clean EOF").is_none());
+    }
+}
