@@ -60,7 +60,7 @@ pub(crate) struct Loan {
 /// Implements [`Protocol`], so it runs under the deterministic simulator
 /// (`oc_sim::World`), the threaded runtime (`oc-runtime`), or any driver
 /// that feeds it [`NodeEvent`]s.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OpenCubeNode {
     id: NodeId,
     /// Shared, immutable run configuration. One `Arc` is shared by every

@@ -24,9 +24,12 @@
 //! violations there are expected findings, not regressions (see
 //! DESIGN.md, "Fault model soundness").
 
-use oc_algo::Hardening;
+use oc_algo::{Hardening, Mutation};
 use oc_bench::{cli::FlagParser, json, sweep};
-use oc_check::{repro_snippet, run_scenario, run_scenario_hardened, shrink, Scenario, Space};
+use oc_check::{
+    explore_guided_with, repro_snippet, run_scenario, run_scenario_hardened, shrink, GuidedConfig,
+    GuidedResult, Scenario, Space,
+};
 
 const USAGE: &str = "\
 Usage: explore [FLAGS]
@@ -57,12 +60,30 @@ safety and liveness oracle suite, sharded across worker threads.
                 quorum exits 1 — quorum regeneration must close the
                 healed-partition double-mint. The baseline battery and
                 its artifact section are unchanged
+  --guided      run the coverage-guided explorer on top of the battery:
+                two planted-mutation detection hunts (each gated at a
+                budget of 175 scenarios, a quarter of the 700-scenario
+                blind calibration budget) plus a corpus-growth
+                exploration of the faithful protocol (budget/4
+                scenarios). Prints a thread-invariant \"guided summary\"
+                line, adds a \"guided\" section to the JSON artifact,
+                and exits 1 unless both planted mutations are detected
+                within budget
   --json        write BENCH_CHECK.json
   --out PATH    write the --json artifact to PATH instead (implies
                 --json; the partition battery commits BENCH_PART.json,
                 keeping BENCH_CHECK.json the default battery's artifact)
   --help        this message
 ";
+
+/// The guided detection gate: each planted mutation must be found within
+/// this many scenario runs — a quarter of the 700-scenario blind budget
+/// the self-check suite calibrates against (blind sampling first reaches
+/// a skip-regeneration counterexample at index 618 of the default space
+/// at seed 42; the guided loop's crash-near-arrival mutator builds one
+/// around index 74). Mirrored by `GUIDED_BUDGET` in
+/// `crates/check/tests/self_check.rs`.
+const GUIDED_DETECTION_BUDGET: u64 = 175;
 
 struct Options {
     budget: u64,
@@ -72,6 +93,7 @@ struct Options {
     hard: bool,
     partitions: bool,
     hardened: bool,
+    guided: bool,
     json: bool,
     out: Option<String>,
 }
@@ -85,6 +107,7 @@ fn parse_options(args: &[String]) -> Options {
         hard: false,
         partitions: false,
         hardened: false,
+        guided: false,
         json: false,
         out: None,
     };
@@ -128,6 +151,7 @@ fn parse_options(args: &[String]) -> Options {
             "--hard" => options.hard = true,
             "--partitions" => options.partitions = true,
             "--hardened" => options.hardened = true,
+            "--guided" => options.guided = true,
             "--json" => options.json = true,
             _ => parser.usage_error(&format!("unknown flag: {:?}", flag.raw)),
         }
@@ -372,6 +396,83 @@ fn main() {
         (agg, safety_violations, epoch_discards, mint_requests, mint_acks, fingerprint)
     });
 
+    // The coverage-guided pass: prove the explorer's teeth at a quarter
+    // of the blind calibration budget, and chart how the corpus grows
+    // under the faithful protocol. Each epoch's candidate batch is built
+    // purely from (seed, ordinal, corpus state) and its outcomes are
+    // folded serially in slot order — one `sweep` call per batch — so
+    // the `guided summary` line is byte-identical at any `--threads`.
+    let guided = options.guided.then(|| {
+        let config = GuidedConfig::default();
+        let hunt = |mutation: Mutation, budget: u64| -> GuidedResult {
+            explore_guided_with(
+                &space,
+                options.master_seed,
+                budget,
+                mutation,
+                config,
+                &mut |batch| {
+                    sweep::sweep(batch, options.threads, |_, scenario| {
+                        run_scenario(scenario, mutation)
+                    })
+                    .results
+                },
+            )
+        };
+        let keep = hunt(Mutation::KeepTokenOnTransit, GUIDED_DETECTION_BUDGET);
+        let skip = hunt(Mutation::SkipTokenRegeneration, GUIDED_DETECTION_BUDGET);
+        // The corpus-growth exploration scales with the battery: a
+        // quarter of the blind budget, floored so even a tiny --budget
+        // produces a real curve.
+        let explore_budget = (options.budget / 4).max(64);
+        let growth = hunt(Mutation::None, explore_budget);
+
+        println!();
+        for (name, result) in [("keep-token-on-transit", &keep), ("skip-regeneration", &skip)] {
+            match &result.failure {
+                Some(failure) => println!(
+                    "   guided {name}: detected at index {} ({} run(s) incl. differential \
+                     checks): {}",
+                    failure.index,
+                    result.runs,
+                    failure.scenario.id(),
+                ),
+                None => println!("   guided {name}: NOT detected within {} run(s)", result.runs),
+            }
+        }
+
+        // Fold the whole corpus growth curve into one fingerprint: any
+        // cross-thread divergence in admission order shows up here.
+        let mut fold = oc_sim::Fnv64::new();
+        for row in &growth.curve {
+            fold.write_u64(row.epoch);
+            fold.write_u64(row.runs);
+            fold.write_u64(row.corpus as u64);
+            fold.write_u64(row.features as u64);
+        }
+        let curve_fingerprint = fold.finish();
+        let index_of = |result: &GuidedResult| {
+            result.failure.as_ref().map_or(-1, |failure| i64::try_from(failure.index).unwrap_or(-1))
+        };
+        println!(
+            "\nguided summary detection_budget={} seed={} keep_detected={} keep_index={} \
+             keep_runs={} skip_detected={} skip_index={} skip_runs={} explore_budget={} \
+             corpus={} features={} curve_fingerprint={curve_fingerprint:#018x}",
+            GUIDED_DETECTION_BUDGET,
+            options.master_seed,
+            u8::from(keep.failure.is_some()),
+            index_of(&keep),
+            keep.runs,
+            u8::from(skip.failure.is_some()),
+            index_of(&skip),
+            skip.runs,
+            explore_budget,
+            growth.corpus,
+            growth.features,
+        );
+        (keep, skip, growth, explore_budget, curve_fingerprint)
+    });
+
     // Shrink the first failure (lowest index) to a minimal, replayable
     // counterexample before reporting.
     let shrunk = failures.first().map(|&index| {
@@ -459,6 +560,47 @@ fn main() {
                 ]),
             ));
         }
+        // The guided section follows the same additive rule: appended
+        // after every pre-existing key, so diffing the artifact against
+        // a pre-guided run shows the battery byte-identical.
+        if let Some((keep, skip, growth, explore_budget, curve_fingerprint)) = &guided {
+            let detection = |result: &GuidedResult| {
+                let mut fields = vec![
+                    ("detected", json::Value::Bool(result.failure.is_some())),
+                    ("budget", json::Value::UInt(GUIDED_DETECTION_BUDGET)),
+                    ("runs", json::Value::UInt(result.runs)),
+                ];
+                if let Some(failure) = &result.failure {
+                    fields.push(("index", json::Value::UInt(failure.index)));
+                    fields.push(("scenario_id", json::Value::str(failure.scenario.id())));
+                }
+                json::Value::Obj(fields)
+            };
+            let curve = growth
+                .curve
+                .iter()
+                .map(|row| {
+                    json::Value::Obj(vec![
+                        ("epoch", json::Value::UInt(row.epoch)),
+                        ("runs", json::Value::UInt(row.runs)),
+                        ("corpus", json::Value::UInt(row.corpus as u64)),
+                        ("features", json::Value::UInt(row.features as u64)),
+                    ])
+                })
+                .collect();
+            extra.push((
+                "guided",
+                json::Value::Obj(vec![
+                    ("keep_token_on_transit", detection(keep)),
+                    ("skip_token_regeneration", detection(skip)),
+                    ("explore_budget", json::Value::UInt(*explore_budget)),
+                    ("corpus", json::Value::UInt(growth.corpus as u64)),
+                    ("features", json::Value::UInt(growth.features as u64)),
+                    ("curve_fingerprint", json::Value::str(format!("{curve_fingerprint:#018x}"))),
+                    ("curve", json::Value::Arr(curve)),
+                ]),
+            ));
+        }
         let doc =
             oc_bench::bench_artifact("check", options.master_seed, false, &outcome, rows, extra);
         let path = options.out.as_deref().unwrap_or("BENCH_CHECK.json");
@@ -468,6 +610,20 @@ fn main() {
                 eprintln!("error: could not write {path}: {err}");
                 std::process::exit(1);
             }
+        }
+    }
+
+    // The guided gate: a guided explorer that cannot find a planted
+    // mutation within a quarter of the blind budget has lost its teeth.
+    if let Some((keep, skip, ..)) = &guided {
+        if keep.failure.is_none() || skip.failure.is_none() {
+            eprintln!(
+                "error: guided exploration missed a planted mutation within \
+                 {GUIDED_DETECTION_BUDGET} runs (keep detected: {}, skip detected: {})",
+                keep.failure.is_some(),
+                skip.failure.is_some(),
+            );
+            std::process::exit(1);
         }
     }
 

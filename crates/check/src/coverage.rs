@@ -1,0 +1,273 @@
+//! Coverage extraction and the corpus — the guided explorer's memory.
+//!
+//! A blind sampler forgets every run; a guided one keeps the scenarios
+//! that taught it something. "Taught it something" is made concrete the
+//! way fuzzers do it: each [`Outcome`] is folded into a small set of
+//! *features* — hashed buckets of protocol-state signals — and a
+//! [`Corpus`] admits a scenario exactly when it exhibits a feature no
+//! earlier scenario did.
+//!
+//! The feature set is deliberately coarse (log2 buckets) so that runs
+//! differing only by noise collapse onto the same features, while runs
+//! that push the protocol into a genuinely new regime — first search
+//! restart, first regeneration, first parked mint, an order of magnitude
+//! more anomaly traffic — light up new ones. Everything here is a pure
+//! function of the outcome, so coverage is as deterministic as the runs
+//! themselves.
+
+use std::collections::BTreeSet;
+
+use oc_sim::{Fnv64, LivenessViolation, Violation};
+
+use crate::run::Outcome;
+use crate::scenario::Scenario;
+
+/// The log2 bucket of a counter: 0 for 0, `1 + floor(log2(x))` otherwise.
+/// Adjacent magnitudes share a bucket; order-of-magnitude jumps are new
+/// coverage.
+fn bucket(x: u64) -> u64 {
+    u64::from(64 - x.leading_zeros())
+}
+
+/// One hashed feature: a label plus two bucketed values.
+fn feature(label: &str, a: u64, b: u64) -> u64 {
+    let mut hash = Fnv64::new();
+    hash.write(label.as_bytes());
+    hash.write_u64(a);
+    hash.write_u64(b);
+    hash.finish()
+}
+
+/// The compact feature set of one scenario run.
+///
+/// Features cover: per-kind send counts (log2-bucketed), the open-cube
+/// search/regeneration counters, epoch discards and parked mints, the
+/// oracle's near-miss signals (partition-isolation excuses, quorum
+/// blocks, stranded requests), the horizon margin (how close the run
+/// came to event exhaustion, in octiles), fault accounting, and the
+/// *shape* of any violations (kind, not instance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    features: Vec<u64>,
+}
+
+impl Coverage {
+    /// Extracts the feature set of `outcome` (with `scenario` supplying
+    /// the horizon cap the margin feature is judged against).
+    #[must_use]
+    pub fn from_outcome(scenario: &Scenario, outcome: &Outcome) -> Coverage {
+        let mut features = BTreeSet::new();
+        let cov = &outcome.coverage;
+        for (kind, sent) in cov.sent_by_kind.iter().enumerate() {
+            features.insert(feature("sent", kind as u64, bucket(*sent)));
+        }
+        for (label, value) in [
+            ("search_restarts", cov.search_restarts),
+            ("regenerations", cov.regenerations),
+            ("search_phases", cov.search_phases),
+            ("searches_started", cov.searches_started),
+            ("nodes_tested", cov.nodes_tested),
+            ("anomalies", cov.anomalies),
+            ("mints_parked", cov.mints_parked),
+            ("isolated_nodes", cov.isolated_nodes),
+            ("quorum_blocked", cov.quorum_blocked_nodes),
+            ("unreachable", cov.unreachable),
+            ("epoch_discards", outcome.epoch_discards),
+            ("cs_entries", outcome.cs_entries),
+            ("abandoned", outcome.abandoned),
+            ("lost_to_faults", outcome.lost_to_faults),
+            ("lost_to_partition", outcome.lost_to_partition),
+            ("duplicated", outcome.duplicated),
+        ] {
+            features.insert(feature(label, bucket(value), 0));
+        }
+        // Exact small counts for the fault plan actually executed —
+        // "two crashes" and "three crashes" are different regimes even
+        // though they share a log2 bucket.
+        features.insert(feature("crashes", outcome.crashes.min(8), 0));
+        features.insert(feature("recoveries", outcome.recoveries.min(8), 0));
+        features.insert(feature("drained", u64::from(outcome.drained), 0));
+        // Horizon margin in octiles: a run that burns 7/8 of its event
+        // cap is a liveness near-miss even if it drains.
+        let octile = (outcome.events.saturating_mul(8) / scenario.max_events.max(1)).min(8);
+        features.insert(feature("horizon_octile", octile, 0));
+        // Violation shapes, not instances: which oracle fired, and how.
+        for violation in outcome.safety.violations() {
+            let tag = match violation {
+                Violation::MutualExclusion { .. } => 0,
+                Violation::TokenDuplication { .. } => 1,
+            };
+            features.insert(feature("safety_violation", tag, 0));
+        }
+        for violation in outcome.liveness.violations() {
+            let tag = match violation {
+                LivenessViolation::Starvation { .. } => 0,
+                LivenessViolation::TokenLost { .. } => 1,
+                LivenessViolation::StuckNode { .. } => 2,
+                LivenessViolation::HorizonExhausted { .. } => 3,
+            };
+            features.insert(feature("liveness_violation", tag, 0));
+        }
+        Coverage { features: features.into_iter().collect() }
+    }
+
+    /// The sorted, deduplicated feature hashes.
+    #[must_use]
+    pub fn features(&self) -> &[u64] {
+        &self.features
+    }
+}
+
+/// One kept scenario and the record of why it was kept.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The admitted scenario (always replayable via its `oc1-` ID).
+    pub scenario: Scenario,
+    /// How many then-unseen features it brought — its interestingness
+    /// at admission time, used to weight mutation selection.
+    pub new_features: usize,
+}
+
+/// The set of scenarios that each reached at least one feature no earlier
+/// scenario did, in admission order.
+///
+/// Invariants (pinned by the unit tests below):
+/// * every entry contributed ≥ 1 feature unseen at its admission;
+/// * `feature_count` equals the union of all admitted coverage sets;
+/// * admission order is deterministic given the same scenario stream —
+///   the guided loop feeds outcomes to [`Corpus::admit`] serially in
+///   slot order, which is what keeps `--guided` thread-invariant.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    seen: BTreeSet<u64>,
+    entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    #[must_use]
+    pub fn new() -> Corpus {
+        Corpus::default()
+    }
+
+    /// Offers a scenario and its coverage; admits it if it reached any
+    /// new feature. Returns the number of new features (0 = rejected).
+    pub fn admit(&mut self, scenario: &Scenario, coverage: &Coverage) -> usize {
+        let mut fresh = 0;
+        for f in coverage.features() {
+            if self.seen.insert(*f) {
+                fresh += 1;
+            }
+        }
+        if fresh > 0 {
+            self.entries.push(CorpusEntry { scenario: clone_trim(scenario), new_features: fresh });
+        }
+        fresh
+    }
+
+    /// Number of admitted scenarios.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been admitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total distinct features reached so far.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// The admitted entries, in admission order.
+    #[must_use]
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+}
+
+/// Clones a scenario with capacities trimmed to length, so a long-lived
+/// corpus holds exactly the data the `oc1-` ID encodes.
+fn clone_trim(scenario: &Scenario) -> Scenario {
+    let mut s = scenario.clone();
+    s.arrivals.shrink_to_fit();
+    s.crashes.shrink_to_fit();
+    s.phases.shrink_to_fit();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_scenario;
+    use crate::scenario::Space;
+    use oc_algo::Mutation;
+
+    #[test]
+    fn coverage_is_deterministic_and_sorted() {
+        let scenario = Scenario::generate(&Space::default(), 7, 3);
+        let outcome = run_scenario(&scenario, Mutation::None);
+        let a = Coverage::from_outcome(&scenario, &outcome);
+        let b = Coverage::from_outcome(&scenario, &outcome);
+        assert_eq!(a, b);
+        assert!(a.features().windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        assert!(!a.features().is_empty());
+    }
+
+    #[test]
+    fn different_regimes_reach_different_features() {
+        let space = Space::default();
+        let quiet = Scenario::generate(&space, 7, 0);
+        let mut seen = BTreeSet::new();
+        let mut grew = 0;
+        for index in 0..8 {
+            let s = Scenario::generate(&space, 7, index);
+            let outcome = run_scenario(&s, Mutation::None);
+            let cov = Coverage::from_outcome(&s, &outcome);
+            let before = seen.len();
+            seen.extend(cov.features().iter().copied());
+            if seen.len() > before {
+                grew += 1;
+            }
+        }
+        assert!(grew >= 2, "a varied scenario stream must keep finding features");
+        let outcome = run_scenario(&quiet, Mutation::None);
+        assert!(!Coverage::from_outcome(&quiet, &outcome).features().is_empty());
+    }
+
+    #[test]
+    fn corpus_admits_only_new_coverage() {
+        let space = Space::default();
+        let mut corpus = Corpus::new();
+        let s0 = Scenario::generate(&space, 11, 0);
+        let cov0 = Coverage::from_outcome(&s0, &run_scenario(&s0, Mutation::None));
+        let fresh = corpus.admit(&s0, &cov0);
+        assert!(fresh > 0, "the first scenario is always new");
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.feature_count(), cov0.features().len());
+        // Re-offering the same coverage admits nothing.
+        assert_eq!(corpus.admit(&s0, &cov0), 0);
+        assert_eq!(corpus.len(), 1);
+        // Every entry must have contributed features.
+        assert!(corpus.entries().iter().all(|e| e.new_features > 0));
+    }
+
+    #[test]
+    fn violation_shape_is_coverage() {
+        // A planted safety bug's violation kind must be a feature the
+        // clean run of the same scenario does not reach.
+        let space = Space::default();
+        let s = Scenario::generate(&space, 42, 0);
+        let clean = Coverage::from_outcome(&s, &run_scenario(&s, Mutation::None));
+        let dirty = Coverage::from_outcome(&s, &run_scenario(&s, Mutation::KeepTokenOnTransit));
+        let clean_set: BTreeSet<u64> = clean.features().iter().copied().collect();
+        assert!(
+            dirty.features().iter().any(|f| !clean_set.contains(f)),
+            "a violating run must reach new coverage"
+        );
+    }
+}

@@ -29,6 +29,15 @@
 //! on transit), and the self-check tests assert a bounded seed budget
 //! finds, shrinks, and byte-identically replays a counterexample for each.
 //!
+//! On top of the blind sampler sits the **coverage-guided** loop
+//! ([`explore_guided`]): each outcome folds into hashed coverage
+//! features ([`Coverage`]), a [`Corpus`] keeps the scenarios that
+//! reached new features, and structure-aware mutators ([`mutate`])
+//! bend kept scenarios toward the protocol's fault machinery. Epochs
+//! are seed-deterministic and thread-invariant, and the self-checks
+//! pin that the guided loop finds both planted mutations within a
+//! quarter of the blind budget.
+//!
 //! Sharded exploration (thousands of scenarios across threads) lives in
 //! the `explore` binary of `oc-bench`, which drives this crate through
 //! `oc_bench::sweep`.
@@ -42,14 +51,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coverage;
+mod guided;
+mod mutate;
 pub mod netgate;
 mod run;
 mod scenario;
 mod shrink;
 mod threaded;
 
+pub use coverage::{Corpus, CorpusEntry, Coverage};
+pub use guided::{explore_guided, explore_guided_with, GuidedConfig, GuidedEpoch, GuidedResult};
+pub use mutate::mutate;
 pub use netgate::{conforms, run_inprocess, GateKill, GateOutcome, GateScenario};
-pub use run::{run_scenario, run_scenario_hardened, run_scenario_with, Outcome};
+pub use run::{
+    run_scenario, run_scenario_hardened, run_scenario_observed, run_scenario_with, CoverageStats,
+    Outcome,
+};
 pub use scenario::{Scenario, ScenarioCrash, ScenarioPhase, ScenarioPhaseKind, Space};
 pub use shrink::{shrink, ShrinkResult};
 pub use threaded::{run_scenario_runtime, RuntimeProfile};

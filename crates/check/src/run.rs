@@ -1,13 +1,50 @@
 //! Playing one scenario through the deterministic engine and judging it.
 
-use oc_algo::{Config, Hardening, Mutation, OpenCubeNode};
+use oc_algo::{Config, Hardening, Mutation, NodeStats, OpenCubeNode};
 use oc_sim::{
-    check_liveness, DelayModel, LinkFaults, LivenessReport, OracleReport, Protocol, SimConfig,
-    SimDuration, SimTime, World,
+    check_liveness, DelayModel, LinkFaults, LivenessReport, MsgKind, OracleReport, Protocol,
+    SimConfig, SimDuration, SimTime, World,
 };
 use oc_topology::NodeId;
 
 use crate::scenario::Scenario;
+
+/// Raw protocol-state signals harvested from one run, feeding the guided
+/// explorer's coverage extraction ([`crate::Coverage`]).
+///
+/// Additive: these counters are deliberately *excluded* from
+/// [`Outcome::fingerprint`] (the same contract the hardened counters
+/// follow), so committed battery fingerprints do not drift when new
+/// signals are wired in. `PartialEq` over [`Outcome`] still covers them,
+/// so replay-identity assertions see the full picture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageStats {
+    /// Messages sent per kind, in [`MsgKind::all`] order.
+    pub sent_by_kind: [u64; 9],
+    /// `search_father` restarts summed over all nodes — each one is a
+    /// sweep that found the token missing or moved (a liveness near-miss).
+    pub search_restarts: u64,
+    /// Tokens regenerated, summed over all nodes.
+    pub regenerations: u64,
+    /// Ring sweep phases completed, summed over all nodes — try-later
+    /// patience burned.
+    pub search_phases: u64,
+    /// Searches started, summed over all nodes.
+    pub searches_started: u64,
+    /// Ring probes fielded, summed over all nodes.
+    pub nodes_tested: u64,
+    /// Anomaly notifications sent, summed over all nodes.
+    pub anomalies: u64,
+    /// Mint ballots parked awaiting quorum (hardened mode only).
+    pub mints_parked: u64,
+    /// Live nodes isolated by a standing partition at the horizon — the
+    /// oracle's partition-isolation excuse, counted instead of judged.
+    pub isolated_nodes: u64,
+    /// Live nodes excused as quorum-blocked at the horizon.
+    pub quorum_blocked_nodes: u64,
+    /// Pending requests stranded on isolated nodes at the horizon.
+    pub unreachable: u64,
+}
 
 /// The oracle verdict and headline counters of one scenario run.
 ///
@@ -48,6 +85,9 @@ pub struct Outcome {
     pub safety: OracleReport,
     /// The liveness oracle's report (starvation, token loss, stuck nodes).
     pub liveness: LivenessReport,
+    /// Protocol-state signals for coverage-guided exploration. Excluded
+    /// from [`Outcome::fingerprint`]; see [`CoverageStats`].
+    pub coverage: CoverageStats,
 }
 
 impl Outcome {
@@ -120,17 +160,36 @@ pub fn run_scenario_hardened(
     mutation: Mutation,
     hardening: Hardening,
 ) -> Outcome {
-    run_scenario_with(scenario, |s| {
-        let cfg = Config::new(
-            s.n,
-            SimDuration::from_ticks(s.delay_max),
-            SimDuration::from_ticks(s.cs_ticks),
-        )
-        .with_contention_slack(SimDuration::from_ticks(s.contention_slack))
-        .with_mutation(mutation)
-        .with_hardening(hardening);
-        OpenCubeNode::build_all(cfg)
-    })
+    run_scenario_observed(
+        scenario,
+        |s| {
+            let cfg = Config::new(
+                s.n,
+                SimDuration::from_ticks(s.delay_max),
+                SimDuration::from_ticks(s.cs_ticks),
+            )
+            .with_contention_slack(SimDuration::from_ticks(s.contention_slack))
+            .with_mutation(mutation)
+            .with_hardening(hardening);
+            OpenCubeNode::build_all(cfg)
+        },
+        |world, coverage| {
+            // The open cube exposes per-node protocol counters; fold them
+            // into the coverage block so the guided explorer can reward
+            // scenarios that exercise the search/regeneration machinery.
+            let mut stats = NodeStats::default();
+            for k in 0..world.len() {
+                stats = stats.merged(*world.node(NodeId::new(k as u32 + 1)).stats());
+            }
+            coverage.search_restarts = u64::from(stats.search_restarts);
+            coverage.regenerations = u64::from(stats.tokens_regenerated);
+            coverage.search_phases = u64::from(stats.search_phases);
+            coverage.searches_started = u64::from(stats.searches_started);
+            coverage.nodes_tested = u64::from(stats.nodes_tested);
+            coverage.anomalies = u64::from(stats.anomalies_sent);
+            coverage.mints_parked = u64::from(stats.mints_parked);
+        },
+    )
 }
 
 /// Runs one scenario against an arbitrary [`Protocol`] and returns its
@@ -147,6 +206,22 @@ pub fn run_scenario_with<P, F>(scenario: &Scenario, build: F) -> Outcome
 where
     P: Protocol + Send,
     F: FnOnce(&Scenario) -> Vec<P>,
+{
+    run_scenario_observed(scenario, build, |_, _| {})
+}
+
+/// [`run_scenario_with`] plus a post-run observer that reads the final
+/// [`World`] — the hook protocol-specific coverage signals flow through
+/// (the open-cube path folds its per-node [`NodeStats`] into the
+/// [`CoverageStats`] block here). The observer runs after the oracles,
+/// before the world is dropped; it must be deterministic for outcome
+/// replay identity to hold.
+#[must_use]
+pub fn run_scenario_observed<P, F, O>(scenario: &Scenario, build: F, observe: O) -> Outcome
+where
+    P: Protocol + Send,
+    F: FnOnce(&Scenario) -> Vec<P>,
+    O: FnOnce(&World<P>, &mut CoverageStats),
 {
     let sim = SimConfig {
         delay: DelayModel::Uniform {
@@ -173,6 +248,18 @@ where
     world.schedule_failures(&scenario.failure_plan());
     let drained = world.run_to_quiescence();
     let liveness = check_liveness(&world, drained);
+    let (isolated, unreachable) = world.partition_isolation(drained);
+    let mut coverage = CoverageStats {
+        sent_by_kind: MsgKind::all().map(|kind| world.metrics().sent(kind)),
+        isolated_nodes: isolated.iter().filter(|iso| **iso).count() as u64,
+        quorum_blocked_nodes: (1..=scenario.n as u32)
+            .map(NodeId::new)
+            .filter(|id| world.is_alive(*id) && world.node(*id).quorum_blocked())
+            .count() as u64,
+        unreachable,
+        ..CoverageStats::default()
+    };
+    observe(&world, &mut coverage);
     let metrics = world.metrics();
     Outcome {
         drained,
@@ -190,6 +277,7 @@ where
         mint_acks: metrics.sent(oc_sim::MsgKind::MintAck),
         safety: world.oracle_report().clone(),
         liveness,
+        coverage,
     }
 }
 

@@ -124,6 +124,7 @@ pub fn run_scenario_runtime(
         mint_acks: 0,
         safety: report.safety,
         liveness: report.liveness,
+        coverage: crate::run::CoverageStats::default(),
     }
 }
 

@@ -39,7 +39,7 @@ const BUCKETS: usize = 1024;
 
 /// A `(time, seq)`-ordered entry. `Ord` is the natural order, so heaps
 /// wrap entries in [`Reverse`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Entry<E> {
     pub(crate) at: SimTime,
     pub(crate) seq: u64,
@@ -64,7 +64,7 @@ impl<E> Ord for Entry<E> {
 }
 
 /// The bucketed calendar event store. See the module docs for the design.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CalendarQueue<E> {
     /// Every event with `t < split`; its top is the global minimum.
     near: BinaryHeap<Reverse<Entry<E>>>,

@@ -84,7 +84,7 @@ impl TimerRow {
 /// firings on its own row, so node-local counters preserve the stale-timer
 /// semantics exactly while letting a windowed driver arm timers on disjoint
 /// node ranges concurrently without contending on one shared counter.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TimerTable {
     rows: Vec<TimerRow>,
     gens: Vec<u64>,

@@ -58,4 +58,4 @@ pub use queue::{EventQueue, QueueBackend};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};
 pub use workload::{ArrivalSchedule, Workload};
-pub use world::{Driver, SimConfig, World};
+pub use world::{Checkpoint, Driver, SimConfig, World};

@@ -68,7 +68,7 @@ impl OracleReport {
 /// runtime (`oc-runtime`) feeds it the linearized records of its monitor
 /// (the monitor lock's acquisition order is the linearization). The
 /// oracle itself never cares which substrate produced an event.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Oracle {
     /// Every node currently inside the CS with the token epoch it entered
     /// under, in entry order. Normally empty or a single element; a

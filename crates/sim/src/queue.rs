@@ -37,14 +37,14 @@ pub enum QueueBackend {
 /// ticks, so the hot traffic lands within a few buckets of the cursor.
 const DEFAULT_BUCKET_WIDTH: u64 = 64;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Store<E> {
     Heap(BinaryHeap<Reverse<Entry<E>>>),
     Bucketed(CalendarQueue<E>),
 }
 
 /// A deterministic min-priority queue of simulation events.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     store: Store<E>,
     next_seq: u64,

@@ -98,7 +98,7 @@ impl Default for SimConfig {
 }
 
 /// Internal simulator events.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum SimEvent<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
     Timer { node: NodeId, id: u64, generation: u64 },
@@ -114,7 +114,7 @@ pub(crate) enum SimEvent<M> {
 /// Split out of [`World`] so that [`engine::drive`] can borrow one node
 /// mutably while the core executes that node's actions — `Core` is the
 /// simulator's [`ActionSink`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Core<M> {
     pub(crate) config: SimConfig,
     /// `config.script` compiled against the system size (dense membership
@@ -808,6 +808,126 @@ impl<P: Protocol> World<P> {
             self.core.metrics.epoch_discards += discards - self.epoch_discard_cache[idx];
             self.epoch_discard_cache[idx] = discards;
         }
+    }
+
+    /// Bounded schedule perturbation: deterministically re-jitters every
+    /// pending `Deliver` event within ±`slack` ticks of its scheduled
+    /// time (clamped to the present), leaving timers, workload arrivals,
+    /// and the failure plan untouched. The jitter is a pure function of
+    /// `(salt, position in the queue)` — nothing is drawn from the
+    /// world's RNG stream, so a perturbed fork differs from its sibling
+    /// only by `salt`, and two forks with equal salts are identical.
+    /// Used by the guided explorer to search delivery interleavings
+    /// around a checkpointed near-miss without replaying the prefix.
+    pub fn perturb_deliveries(&mut self, slack: SimDuration, salt: u64) {
+        let slack = slack.ticks();
+        if slack == 0 {
+            return;
+        }
+        let mut pending = Vec::with_capacity(self.core.queue.len());
+        while let Some((at, event)) = self.core.queue.pop() {
+            pending.push((at, event));
+        }
+        let now = self.core.now.ticks();
+        for (index, (at, event)) in pending.into_iter().enumerate() {
+            // Re-pushing assigns fresh sequence numbers in pop order, so
+            // unmoved events keep their relative order among ties.
+            let at = if matches!(event, SimEvent::Deliver { .. }) {
+                // splitmix64 finalizer over (salt, index).
+                let mut x = salt ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                let offset = x % (2 * slack + 1);
+                SimTime::from_ticks(
+                    at.ticks().saturating_add(offset).saturating_sub(slack).max(now),
+                )
+            } else {
+                at
+            };
+            self.core.queue.push(at, event);
+        }
+    }
+}
+
+/// A complete, resumable snapshot of a running [`World`].
+///
+/// Holds deep copies of the protocol nodes, the event queue (pending
+/// deliveries, timers, scheduled arrivals and failures), the timer
+/// table, the RNG, the metrics, the oracle, and the trace — everything
+/// the run's future depends on. Restoring (or forking) a checkpoint
+/// therefore continues byte-identically to a run that never paused; the
+/// checkpoint equivalence suite pins `checkpoint → restore → drive ==
+/// drive` on both queue backends, with fault scripts active.
+///
+/// The shared outbox is deliberately *not* captured: the engine drains
+/// it after every event (debug-asserted in `engine::drive`), so between
+/// events — the only place a checkpoint can be taken — it is empty by
+/// invariant.
+#[derive(Debug, Clone)]
+pub struct Checkpoint<P: Protocol> {
+    nodes: Vec<P>,
+    holds_token: Vec<bool>,
+    holder_epochs: Vec<u64>,
+    epoch_discard_cache: Vec<u64>,
+    core: Core<P::Msg>,
+}
+
+impl<P: Protocol + Clone> Checkpoint<P> {
+    /// The virtual time the snapshot was taken at.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Builds an independent world resuming from this snapshot — the
+    /// fork primitive: one deep scenario prefix, many futures.
+    #[must_use]
+    pub fn to_world(&self) -> World<P> {
+        World {
+            nodes: self.nodes.clone(),
+            holds_token: self.holds_token.clone(),
+            holder_epochs: self.holder_epochs.clone(),
+            epoch_discard_cache: self.epoch_discard_cache.clone(),
+            outbox: Outbox::new(),
+            core: self.core.clone(),
+        }
+    }
+}
+
+impl<P: Protocol + Clone> World<P> {
+    /// Snapshots the world's complete state between events. See
+    /// [`Checkpoint`] for what is (and is not) captured.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if called mid-event (the outbox is non-empty); the
+    /// engine contract makes that unreachable from the public API.
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint<P> {
+        debug_assert!(self.outbox.is_empty(), "checkpoints are taken between events");
+        Checkpoint {
+            nodes: self.nodes.clone(),
+            holds_token: self.holds_token.clone(),
+            holder_epochs: self.holder_epochs.clone(),
+            epoch_discard_cache: self.epoch_discard_cache.clone(),
+            core: self.core.clone(),
+        }
+    }
+
+    /// Rewinds this world to `checkpoint`, discarding everything that
+    /// happened since (or before — restore is not directional). The
+    /// checkpoint is reusable: restoring twice and driving identically
+    /// produces identical runs.
+    pub fn restore(&mut self, checkpoint: &Checkpoint<P>) {
+        self.nodes.clone_from(&checkpoint.nodes);
+        self.holds_token.clone_from(&checkpoint.holds_token);
+        self.holder_epochs.clone_from(&checkpoint.holder_epochs);
+        self.epoch_discard_cache.clone_from(&checkpoint.epoch_discard_cache);
+        self.outbox = Outbox::new();
+        self.core.clone_from(&checkpoint.core);
     }
 }
 
